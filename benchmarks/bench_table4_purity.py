@@ -1,0 +1,34 @@
+"""Table IV — clustering Purity (mean ± std) of all methods on all datasets."""
+
+from __future__ import annotations
+
+from _config import all_table_results, bench_datasets, get_dataset
+
+from repro.evaluation.tables import format_metric_table, summarize_ranks
+from repro.metrics import purity_score
+
+
+def test_table4_purity_prints(capsys, benchmark):
+    results = benchmark.pedantic(all_table_results, rounds=1, iterations=1)
+    table = format_metric_table(results, "purity")
+    ranks = summarize_ranks(results, "purity")
+    with capsys.disabled():
+        print("\n=== Table IV: Purity ===")
+        print(table)
+        print("average rank:", {k: round(v, 2) for k, v in sorted(ranks.items(), key=lambda t: t[1])})
+
+    for per_method in results.values():
+        # Purity upper-bounds ACC for every method (same matching counts,
+        # purity's per-cluster max is at least the matched count).
+        assert (
+            per_method["UMSC"].scores["purity"].mean
+            >= per_method["UMSC"].scores["acc"].mean - 1e-9
+        )
+    order = sorted(ranks, key=lambda k: ranks[k])
+    assert "UMSC" in order[:3], f"UMSC rank order: {order}"
+
+
+def test_benchmark_purity_metric(benchmark):
+    ds = get_dataset(bench_datasets()[0])
+    value = benchmark(purity_score, ds.labels, ds.labels)
+    assert value == 1.0

@@ -1,0 +1,17 @@
+"""Benchmark-session fixtures."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _quiet_convergence_warnings():
+    """Benches run solvers at diagnostic tolerances; keep the output clean."""
+    from repro.exceptions import ConvergenceWarning
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", ConvergenceWarning)
+        yield

@@ -1,0 +1,57 @@
+"""One-stage vs two-stage stability on a digits-style dataset.
+
+The paper's argument against the two-stage pipeline is not only accuracy:
+K-means discretization re-rolls the dice every run.  This example runs
+both variants over ten seeds on a handwritten-numerals-shaped dataset
+(scaled down for speed) and prints the per-seed spread.  Run with::
+
+    python examples/digits_stability.py
+"""
+
+import numpy as np
+
+from repro import TwoStageMVSC, UnifiedMVSC, evaluate_clustering
+from repro.datasets import make_multiview_blobs
+
+
+def make_digits(n=600):
+    """A six-view digits-shaped dataset (mfeat layout, reduced n)."""
+    return make_multiview_blobs(
+        n,
+        10,
+        view_dims=(240, 76, 216, 47, 64, 6),
+        view_noise=(0.65, 0.4, 0.25, 0.5, 0.35, 0.9),
+        separation=3.8,
+        manifold=1.5,
+        name="digits-small",
+        random_state=0,
+    )
+
+
+def main() -> None:
+    dataset = make_digits()
+    print(dataset.summary())
+    print()
+
+    seeds = range(10)
+    one_stage, two_stage = [], []
+    for seed in seeds:
+        result = UnifiedMVSC(10, random_state=seed).fit(dataset.views)
+        one_stage.append(
+            evaluate_clustering(dataset.labels, result.labels)["acc"]
+        )
+        labels = TwoStageMVSC(10, random_state=seed).fit_predict(dataset.views)
+        two_stage.append(evaluate_clustering(dataset.labels, labels)["acc"])
+
+    print("seed   one-stage ACC   two-stage ACC")
+    for seed, (a, b) in enumerate(zip(one_stage, two_stage)):
+        print(f"{seed:>4}   {a:.3f}           {b:.3f}")
+    print("-" * 38)
+    print(
+        f"mean   {np.mean(one_stage):.3f}±{np.std(one_stage):.3f}     "
+        f"{np.mean(two_stage):.3f}±{np.std(two_stage):.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Multi-view document clustering (the paper's text scenario).
+
+News stories described by several text sources (the 3-Sources setting:
+BBC / Reuters / Guardian term vectors).  Shows why multi-view beats any
+single view and how the framework's auto-weighting reacts to source
+quality.  Run with::
+
+    python examples/document_clustering.py
+"""
+
+from repro import UnifiedMVSC, evaluate_clustering, load_benchmark
+from repro.baselines import ConcatSC, all_single_view_labels
+
+
+def main() -> None:
+    dataset = load_benchmark("three_sources")
+    print(dataset.summary())
+    print()
+
+    c = dataset.n_clusters
+
+    print("single-view spectral clustering (per source):")
+    per_view = all_single_view_labels(dataset.views, c, random_state=0)
+    for name, labels in zip(dataset.view_names, per_view):
+        scores = evaluate_clustering(dataset.labels, labels)
+        print(f"  {name:<14} ACC={scores['acc']:.3f}  NMI={scores['nmi']:.3f}")
+
+    concat = ConcatSC(c, random_state=0).fit_predict(dataset.views)
+    scores = evaluate_clustering(dataset.labels, concat)
+    print(f"\nconcatenation SC: ACC={scores['acc']:.3f}  NMI={scores['nmi']:.3f}")
+
+    result = UnifiedMVSC(c, random_state=0).fit(dataset.views)
+    scores = evaluate_clustering(dataset.labels, result.labels)
+    print(f"unified (UMSC):   ACC={scores['acc']:.3f}  NMI={scores['nmi']:.3f}")
+    print("\nlearned view weights (higher = source trusted more):")
+    for name, weight in zip(dataset.view_names, result.view_weights):
+        bar = "#" * int(60 * weight / max(result.view_weights))
+        print(f"  {name:<14} {weight:.3f} {bar}")
+
+
+if __name__ == "__main__":
+    main()

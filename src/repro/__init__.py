@@ -1,0 +1,62 @@
+"""repro — unified one-stage multi-view spectral clustering.
+
+A from-scratch reproduction of Zhong & Pun, *A Unified Framework for
+Multi-view Spectral Clustering* (ICDE 2020): the
+:class:`~repro.core.model.UnifiedMVSC` model learns the discrete cluster
+indicator matrix jointly with a shared spectral embedding, an orthogonal
+rotation, and auto-tuned view weights — no K-means stage anywhere — plus
+every substrate the evaluation needs: graph construction, eigensolvers,
+K-means (for the two-stage baselines), ten comparison algorithms, metrics,
+benchmark-shaped datasets, and an experiment harness.
+
+Quickstart
+----------
+>>> from repro import UnifiedMVSC, load_benchmark
+>>> ds = load_benchmark("msrcv1")
+>>> result = UnifiedMVSC(ds.n_clusters, random_state=0).fit(ds.views)
+>>> labels = result.labels  # final clustering, read directly off Y
+"""
+
+from repro.core.anchor_model import AnchorMVSC
+from repro.core.incomplete import IncompleteMVSC
+from repro.core.model import UnifiedMVSC
+from repro.core.out_of_sample import propagate_labels
+from repro.core.result import UMSCResult
+from repro.core.sparse_model import SparseMVSC
+from repro.core.two_stage import TwoStageMVSC
+from repro.datasets.benchmarks import available_benchmarks, load_benchmark
+from repro.datasets.container import MultiViewDataset
+from repro.datasets.synth import make_multiview_blobs
+from repro.evaluation.runner import run_experiment
+from repro.exceptions import (
+    ConvergenceWarning,
+    DatasetError,
+    NumericalError,
+    ReproError,
+    ValidationError,
+)
+from repro.metrics.report import evaluate_clustering
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "UnifiedMVSC",
+    "UMSCResult",
+    "TwoStageMVSC",
+    "AnchorMVSC",
+    "SparseMVSC",
+    "IncompleteMVSC",
+    "propagate_labels",
+    "available_benchmarks",
+    "load_benchmark",
+    "MultiViewDataset",
+    "make_multiview_blobs",
+    "run_experiment",
+    "evaluate_clustering",
+    "ReproError",
+    "ValidationError",
+    "NumericalError",
+    "DatasetError",
+    "ConvergenceWarning",
+    "__version__",
+]

@@ -1,0 +1,60 @@
+"""Baseline algorithms the paper's evaluation compares against.
+
+All baselines are implemented from scratch on the shared substrates
+(:mod:`repro.graph`, :mod:`repro.cluster`, :mod:`repro.linalg`) so that the
+comparison isolates the *algorithm*, not the graph recipe.  Every class
+exposes ``fit_predict(views) -> labels``.
+
+Single-view:
+
+* :class:`SingleViewSC` — classical spectral clustering on one view; the
+  literature's SC(best)/SC(worst) rows pick the best/worst view post hoc.
+
+Early fusion:
+
+* :class:`ConcatKMeans` — K-means on z-scored concatenated features;
+* :class:`ConcatSC` — spectral clustering on the concatenated features;
+* :class:`KernelAdditionSC` — spectral clustering on the average affinity.
+
+Multi-view spectral:
+
+* :class:`CoRegSC` — co-regularized spectral clustering (pairwise and
+  centroid variants; Kumar, Rai & Daume, NIPS 2011);
+* :class:`CoTrainSC` — co-trained multi-view spectral clustering (Kumar &
+  Daume, ICML 2011);
+* :class:`AMGL` — auto-weighted multiple graph learning (Nie et al.,
+  IJCAI 2016);
+* :class:`MLAN` — multi-view learning with adaptive neighbors (Nie et
+  al., AAAI 2017), simplified to its clustering core;
+* :class:`MultiViewKMeans` — weighted multi-view K-means (RMKM-style);
+* :class:`AWP` — multi-view clustering via adaptively weighted Procrustes
+  (Nie et al., KDD 2018), the closest one-stage competitor;
+* :class:`SwMC` — self-weighted consensus-graph clustering (Nie et al.,
+  IJCAI 2017).
+"""
+
+from repro.baselines.amgl import AMGL
+from repro.baselines.awp import AWP
+from repro.baselines.concat import ConcatKMeans, ConcatSC
+from repro.baselines.coreg import CoRegSC
+from repro.baselines.cotraining import CoTrainSC
+from repro.baselines.kernel_addition import KernelAdditionSC
+from repro.baselines.mlan import MLAN
+from repro.baselines.mvkm import MultiViewKMeans
+from repro.baselines.single_view import SingleViewSC, all_single_view_labels
+from repro.baselines.swmc import SwMC
+
+__all__ = [
+    "AMGL",
+    "AWP",
+    "ConcatKMeans",
+    "ConcatSC",
+    "CoRegSC",
+    "CoTrainSC",
+    "KernelAdditionSC",
+    "MLAN",
+    "MultiViewKMeans",
+    "SingleViewSC",
+    "all_single_view_labels",
+    "SwMC",
+]

@@ -1,0 +1,185 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Five subcommands mirror the evaluation artifacts:
+
+* ``datasets``    — print Table I (benchmark statistics);
+* ``run``         — run one method on one benchmark, print its metrics;
+* ``table``       — print a Tables II-IV style comparison;
+* ``convergence`` — print the Figure-1 objective trace;
+* ``stability``   — seed-stability comparison of one-stage vs two-stage.
+
+Everything the CLI does is also available programmatically through
+:mod:`repro.evaluation`; the CLI only parses arguments and prints.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.datasets import available_benchmarks, get_spec, load_benchmark
+from repro.evaluation.curves import convergence_curve, sparkline
+from repro.evaluation.registry import default_method_registry
+from repro.evaluation.runner import run_experiment, run_method_once
+from repro.evaluation.tables import format_metric_table, format_rows
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Unified multi-view spectral clustering — evaluation CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="print benchmark statistics (Table I)")
+
+    run_p = sub.add_parser("run", help="run one method on one benchmark")
+    run_p.add_argument("--dataset", required=True, choices=available_benchmarks())
+    run_p.add_argument(
+        "--method",
+        default="UMSC",
+        choices=sorted(default_method_registry()),
+    )
+    run_p.add_argument("--seed", type=int, default=0)
+
+    table_p = sub.add_parser("table", help="print a comparison table")
+    table_p.add_argument(
+        "--datasets",
+        default="three_sources,msrcv1,yale",
+        help="comma-separated benchmark names",
+    )
+    table_p.add_argument(
+        "--metric", default="acc", choices=["acc", "nmi", "purity", "ari", "fscore"]
+    )
+    table_p.add_argument("--runs", type=int, default=3)
+    table_p.add_argument(
+        "--methods",
+        default="",
+        help="comma-separated registry names (default: all)",
+    )
+
+    conv_p = sub.add_parser("convergence", help="print the objective trace")
+    conv_p.add_argument("--dataset", required=True, choices=available_benchmarks())
+    conv_p.add_argument("--max-iter", type=int, default=25)
+    conv_p.add_argument("--seed", type=int, default=0)
+
+    stab_p = sub.add_parser(
+        "stability", help="seed stability: one-stage vs two-stage"
+    )
+    stab_p.add_argument("--dataset", required=True, choices=available_benchmarks())
+    stab_p.add_argument("--runs", type=int, default=5)
+    return parser
+
+
+def _cmd_datasets(out) -> int:
+    rows = []
+    for name in available_benchmarks():
+        spec = get_spec(name)
+        rows.append(
+            [
+                name,
+                spec.n_samples,
+                len(spec.view_dims),
+                "/".join(str(d) for d in spec.view_dims),
+                spec.n_clusters,
+            ]
+        )
+    print(
+        format_rows(["dataset", "n", "views", "dims", "clusters"], rows),
+        file=out,
+    )
+    return 0
+
+
+def _cmd_run(args, out) -> int:
+    dataset = load_benchmark(args.dataset)
+    spec = default_method_registry()[args.method]
+    scores, seconds = run_method_once(
+        spec, dataset, args.seed, metrics=("acc", "nmi", "purity")
+    )
+    print(dataset.summary(), file=out)
+    print(f"{args.method} ({seconds:.2f}s):", file=out)
+    for metric, value in scores.items():
+        print(f"  {metric:>7}: {value:.3f}", file=out)
+    return 0
+
+
+def _cmd_table(args, out) -> int:
+    names = [n.strip() for n in args.datasets.split(",") if n.strip()]
+    methods = (
+        [m.strip() for m in args.methods.split(",") if m.strip()] or None
+    )
+    results = {}
+    for name in names:
+        dataset = load_benchmark(name)
+        results[name] = run_experiment(
+            dataset,
+            methods=methods,
+            n_runs=args.runs,
+            metrics=(args.metric,),
+        )
+    print(format_metric_table(results, args.metric), file=out)
+    return 0
+
+
+def _cmd_convergence(args, out) -> int:
+    dataset = load_benchmark(args.dataset)
+    curve = convergence_curve(
+        dataset, max_iter=args.max_iter, random_state=args.seed
+    )
+    print(f"{args.dataset}: {sparkline(curve.history)}", file=out)
+    for i, value in enumerate(curve.history, start=1):
+        print(f"  iter {i:>3}: {value:.6f}", file=out)
+    return 0
+
+
+def _cmd_stability(args, out) -> int:
+    from repro.core import TwoStageMVSC
+    from repro.core.tuning import recommended_params
+    from repro.evaluation.stability import stability_score
+    from repro.utils.rng import spawn_seeds
+
+    dataset = load_benchmark(args.dataset)
+    params = recommended_params(args.dataset)
+    seeds = spawn_seeds(0, max(2, args.runs))
+    one = [
+        params.build(dataset.n_clusters, random_state=s).fit(dataset.views).labels
+        for s in seeds
+    ]
+    two = [
+        TwoStageMVSC(
+            dataset.n_clusters,
+            gamma=params.gamma,
+            n_neighbors=params.n_neighbors,
+            n_init=1,
+            random_state=s,
+        ).fit_predict(dataset.views)
+        for s in seeds
+    ]
+    print(dataset.summary(), file=out)
+    print(
+        f"mean pairwise ARI over {len(seeds)} seeds "
+        f"(1.0 = perfectly repeatable):",
+        file=out,
+    )
+    print(f"  one-stage (UMSC):          {stability_score(one):.3f}", file=out)
+    print(f"  two-stage (1 K-means run): {stability_score(two):.3f}", file=out)
+    return 0
+
+
+def main(argv=None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _cmd_datasets(out)
+    if args.command == "run":
+        return _cmd_run(args, out)
+    if args.command == "table":
+        return _cmd_table(args, out)
+    if args.command == "convergence":
+        return _cmd_convergence(args, out)
+    if args.command == "stability":
+        return _cmd_stability(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")

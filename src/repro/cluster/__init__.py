@@ -1,0 +1,28 @@
+"""Clustering substrate: K-means, a spectral clustering driver, label tools.
+
+The paper's headline claim is that its one-stage framework *removes* the
+K-means stage from multi-view spectral clustering — so a faithful,
+from-scratch K-means is required both for the two-stage baselines and for
+the one-stage-vs-two-stage ablation.
+"""
+
+from repro.cluster.kmeans import KMeans, KMeansResult, kmeans_plus_plus_init
+from repro.cluster.labels import (
+    indicator_from_labels,
+    labels_from_indicator,
+    relabel_consecutive,
+    repair_empty_clusters,
+)
+from repro.cluster.spectral import spectral_clustering, spectral_embedding
+
+__all__ = [
+    "KMeans",
+    "KMeansResult",
+    "kmeans_plus_plus_init",
+    "indicator_from_labels",
+    "labels_from_indicator",
+    "relabel_consecutive",
+    "repair_empty_clusters",
+    "spectral_clustering",
+    "spectral_embedding",
+]

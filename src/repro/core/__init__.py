@@ -1,0 +1,39 @@
+"""The paper's primary contribution: unified one-stage multi-view spectral
+clustering (UMSC).
+
+:class:`~repro.core.model.UnifiedMVSC` learns the discrete cluster indicator
+matrix ``Y`` jointly with the shared spectral embedding ``F``, an orthogonal
+rotation ``R``, and view weights ``w`` — in one stage, with no K-means.  The
+two-stage ablation :class:`~repro.core.two_stage.TwoStageMVSC` shares the
+same graph pipeline but discretizes with K-means, isolating the paper's
+one-stage contribution.
+"""
+
+from repro.core.anchor_model import AnchorMVSC
+from repro.core.config import UMSCConfig
+from repro.core.graph_builder import build_laplacians, build_multiview_affinities
+from repro.core.incomplete import IncompleteMVSC, fuse_incomplete_affinities
+from repro.core.model import UnifiedMVSC
+from repro.core.objective import umsc_objective
+from repro.core.out_of_sample import propagate_labels
+from repro.core.result import UMSCResult
+from repro.core.sparse_model import SparseMVSC
+from repro.core.two_stage import TwoStageMVSC
+from repro.core.weights import update_view_weights, weight_exponents
+
+__all__ = [
+    "AnchorMVSC",
+    "UMSCConfig",
+    "build_laplacians",
+    "build_multiview_affinities",
+    "IncompleteMVSC",
+    "fuse_incomplete_affinities",
+    "propagate_labels",
+    "UnifiedMVSC",
+    "umsc_objective",
+    "UMSCResult",
+    "SparseMVSC",
+    "TwoStageMVSC",
+    "update_view_weights",
+    "weight_exponents",
+]

@@ -1,0 +1,127 @@
+"""Out-of-sample extension: label new samples without refitting.
+
+Spectral methods are transductive — the embedding exists only for the
+training samples.  The standard practical extension assigns a new sample by
+a similarity-weighted vote of its nearest training neighbors, aggregated
+across views with the view weights the model learned:
+
+``score(x_new, j) = sum_v w_v sum_{i in kNN_v(x_new)} K_v(x_new, x_i) [y_i = j]``
+
+with the same self-tuning-style kernel used at fit time.  This turns a
+fitted :class:`~repro.core.model.UnifiedMVSC` result into an inductive
+classifier over its discovered clusters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.graph.distance import pairwise_sq_euclidean
+from repro.utils.validation import check_labels, check_views
+
+
+def _view_scores(
+    train: np.ndarray,
+    new: np.ndarray,
+    labels: np.ndarray,
+    n_clusters: int,
+    k: int,
+) -> np.ndarray:
+    """Per-cluster kernel-vote scores of new samples against one view."""
+    d2 = pairwise_sq_euclidean(new, train)
+    n_new, n_train = d2.shape
+    k = max(1, min(k, n_train))
+    idx = np.argpartition(d2, k - 1, axis=1)[:, :k]
+    rows = np.arange(n_new)[:, None]
+    local = d2[rows, idx]
+    # Self-tuning bandwidth: each new sample's k-th neighbor distance.
+    sigma2 = np.maximum(local.max(axis=1, keepdims=True), 1e-12)
+    kernel = np.exp(-local / sigma2)
+    scores = np.zeros((n_new, n_clusters))
+    neighbor_labels = labels[idx]
+    for j in range(n_clusters):
+        scores[:, j] = np.sum(kernel * (neighbor_labels == j), axis=1)
+    return scores
+
+
+def propagate_labels(
+    train_views,
+    train_labels,
+    new_views,
+    *,
+    n_clusters: int | None = None,
+    view_weights=None,
+    n_neighbors: int = 10,
+) -> np.ndarray:
+    """Assign cluster labels to unseen samples by multi-view kNN voting.
+
+    Parameters
+    ----------
+    train_views : sequence of ndarray (n, d_v)
+        The views the model was fitted on.
+    train_labels : array-like of int, shape (n,)
+        The fitted clustering (e.g. ``UMSCResult.labels``).
+    new_views : sequence of ndarray (m, d_v)
+        The same views for the new samples (same per-view feature
+        dimensions, same order).
+    n_clusters : int, optional
+        Defaults to ``max(train_labels) + 1``.
+    view_weights : array-like of shape (V,), optional
+        Per-view vote weights (e.g. ``UMSCResult.view_weights``); default
+        uniform.
+    n_neighbors : int
+        Training neighbors consulted per view.
+
+    Returns
+    -------
+    ndarray of int64, shape (m,)
+        Cluster assignment of each new sample.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> train = [np.vstack([np.zeros((5, 2)), np.ones((5, 2)) * 9])]
+    >>> labels = np.repeat([0, 1], 5)
+    >>> new = [np.array([[0.1, 0.1], [8.9, 9.2]])]
+    >>> propagate_labels(train, labels, new).tolist()
+    [0, 1]
+    """
+    train_views = check_views(train_views, "train_views")
+    new_views = check_views(new_views, "new_views")
+    if len(train_views) != len(new_views):
+        raise ValidationError(
+            f"train has {len(train_views)} views but new has {len(new_views)}"
+        )
+    for v, (a, b) in enumerate(zip(train_views, new_views)):
+        if a.shape[1] != b.shape[1]:
+            raise ValidationError(
+                f"view {v}: train dim {a.shape[1]} != new dim {b.shape[1]}"
+            )
+    labels = check_labels(train_labels, "train_labels", n=train_views[0].shape[0])
+    if np.any(labels < 0):
+        raise ValidationError("train_labels must be non-negative")
+    c = int(labels.max()) + 1 if n_clusters is None else int(n_clusters)
+    if c < 1 or labels.max() >= c:
+        raise ValidationError("n_clusters inconsistent with train_labels")
+
+    n_views = len(train_views)
+    if view_weights is None:
+        weights = np.full(n_views, 1.0 / n_views)
+    else:
+        weights = np.asarray(view_weights, dtype=np.float64)
+        if weights.shape != (n_views,):
+            raise ValidationError(
+                f"view_weights must have shape ({n_views},), got {weights.shape}"
+            )
+        if np.any(weights < 0) or not np.all(np.isfinite(weights)):
+            raise ValidationError("view_weights must be finite and non-negative")
+        total = weights.sum()
+        if total <= 0:
+            raise ValidationError("view_weights must not all be zero")
+        weights = weights / total
+
+    total_scores = np.zeros((new_views[0].shape[0], c))
+    for w_v, train, new in zip(weights, train_views, new_views):
+        total_scores += w_v * _view_scores(train, new, labels, c, n_neighbors)
+    return np.argmax(total_scores, axis=1).astype(np.int64)

@@ -1,0 +1,48 @@
+"""Result type returned by the unified framework."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class UMSCResult:
+    """Everything a UMSC fit produces.
+
+    Attributes
+    ----------
+    labels : ndarray of int64, shape (n,)
+        Final clustering, read directly off the discrete indicator ``Y``
+        (no K-means anywhere).
+    indicator : ndarray of shape (n, c)
+        The learned discrete cluster indicator matrix ``Y`` (one-hot rows).
+    embedding : ndarray of shape (n, c)
+        The shared continuous spectral embedding ``F`` (orthonormal
+        columns).
+    rotation : ndarray of shape (c, c)
+        The learned orthogonal rotation ``R``.
+    view_weights : ndarray of shape (V,)
+        Final view weights ``w``.
+    objective_history : list of float
+        Objective after every outer iteration (monotone non-increasing).
+    n_iter : int
+        Outer iterations performed.
+    converged : bool
+        Whether the relative objective change fell below tolerance.
+    """
+
+    labels: np.ndarray
+    indicator: np.ndarray
+    embedding: np.ndarray
+    rotation: np.ndarray
+    view_weights: np.ndarray
+    objective_history: list = field(default_factory=list)
+    n_iter: int = 0
+    converged: bool = False
+
+    @property
+    def objective(self) -> float:
+        """Final objective value."""
+        return self.objective_history[-1] if self.objective_history else float("nan")

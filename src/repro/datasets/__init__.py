@@ -1,0 +1,39 @@
+"""Multi-view datasets: container, synthetic generators, benchmark registry.
+
+The paper evaluates on famous real multi-view benchmarks (3-Sources,
+BBCSport, MSRC-v1, Handwritten numerals, Caltech101-7, ORL, Yale).  This
+environment has no network access, so :mod:`repro.datasets.benchmarks`
+provides *benchmark-shaped synthetic substitutes*: generators that produce
+datasets with the same sample count, view count, per-view dimensionalities,
+and cluster count as the originals, with per-view quality heterogeneity and
+complementary cluster information calibrated so the relative behaviour of
+the algorithms (multi-view > single-view, unified > two-stage) is exercised
+on the same code paths.  See DESIGN.md "Substitutions".
+"""
+
+from repro.datasets.benchmarks import (
+    DatasetSpec,
+    available_benchmarks,
+    get_spec,
+    load_benchmark,
+)
+from repro.datasets.container import MultiViewDataset
+from repro.datasets.io import load_dataset, save_dataset
+from repro.datasets.synth import (
+    make_latent_clusters,
+    make_multiview_blobs,
+    view_from_latent,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "available_benchmarks",
+    "get_spec",
+    "load_benchmark",
+    "MultiViewDataset",
+    "load_dataset",
+    "save_dataset",
+    "make_latent_clusters",
+    "make_multiview_blobs",
+    "view_from_latent",
+]

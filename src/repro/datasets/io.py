@@ -1,0 +1,61 @@
+"""Save and load multi-view datasets as ``.npz`` archives.
+
+The archive layout is flat and self-describing:
+
+* ``view_0 .. view_{V-1}`` — the per-view feature matrices;
+* ``labels`` — the ground-truth label vector;
+* ``name``, ``description``, ``view_names`` — metadata stored as numpy
+  string arrays.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.datasets.container import MultiViewDataset
+from repro.exceptions import DatasetError
+
+
+def save_dataset(dataset: MultiViewDataset, path: str) -> None:
+    """Write a dataset to ``path`` (``.npz`` appended if missing)."""
+    payload = {f"view_{i}": v for i, v in enumerate(dataset.views)}
+    payload["labels"] = dataset.labels
+    payload["name"] = np.array(dataset.name)
+    payload["description"] = np.array(dataset.description)
+    payload["view_names"] = np.array(dataset.view_names)
+    np.savez_compressed(path, **payload)
+
+
+def load_dataset(path: str) -> MultiViewDataset:
+    """Read a dataset previously written by :func:`save_dataset`."""
+    if not os.path.exists(path) and os.path.exists(path + ".npz"):
+        path = path + ".npz"
+    if not os.path.exists(path):
+        raise DatasetError(f"dataset file not found: {path!r}")
+    with np.load(path, allow_pickle=False) as data:
+        keys = set(data.files)
+        if "labels" not in keys:
+            raise DatasetError(f"{path!r} is not a repro dataset archive (no labels)")
+        view_keys = sorted(
+            (k for k in keys if k.startswith("view_") and k[5:].isdigit()),
+            key=lambda k: int(k[5:]),
+        )
+        if not view_keys:
+            raise DatasetError(f"{path!r} contains no views")
+        views = [np.asarray(data[k], dtype=np.float64) for k in view_keys]
+        labels = np.asarray(data["labels"], dtype=np.int64)
+        name = str(data["name"]) if "name" in keys else os.path.basename(path)
+        description = str(data["description"]) if "description" in keys else ""
+        if "view_names" in keys:
+            view_names = [str(v) for v in np.atleast_1d(data["view_names"])]
+        else:
+            view_names = []
+    return MultiViewDataset(
+        name=name,
+        views=views,
+        labels=labels,
+        view_names=view_names,
+        description=description,
+    )

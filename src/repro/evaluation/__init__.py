@@ -1,0 +1,77 @@
+"""Experiment harness: method registry, repeated-seed runner, tables.
+
+This package regenerates the paper's evaluation artifacts:
+
+* :mod:`repro.evaluation.registry` — the canonical set of compared methods
+  (the paper's Table II row list) as named factories;
+* :mod:`repro.evaluation.runner` — repeated runs with independent seeds,
+  aggregated into mean/std per metric plus wall-clock time;
+* :mod:`repro.evaluation.tables` — plain-text rendering of the result
+  tables in the paper's layout (methods x datasets, ``mean±std``);
+* :mod:`repro.evaluation.sweeps` — parameter grids for the sensitivity
+  figure and ablation benches;
+* :mod:`repro.evaluation.curves` — convergence-history extraction for the
+  convergence figure;
+* :mod:`repro.evaluation.significance` — paired t-test / sign test for
+  "significantly better" markings;
+* :mod:`repro.evaluation.stability` — co-association, consensus labels,
+  and the mean-pairwise-ARI stability score;
+* :mod:`repro.evaluation.ascii_plots` — terminal renderings of the paper's
+  figures (bars, heatmaps, line plots).
+"""
+
+from repro.evaluation.ascii_plots import bar_chart, heatmap, line_plot
+from repro.evaluation.registry import (
+    MethodSpec,
+    default_method_registry,
+    make_method,
+)
+from repro.evaluation.runner import (
+    AggregatedScore,
+    MethodScores,
+    run_experiment,
+    run_method_once,
+)
+from repro.evaluation.model_selection import (
+    SelectionResult,
+    select_umsc_unsupervised,
+)
+from repro.evaluation.reporting import render_metric_section, render_report
+from repro.evaluation.significance import (
+    compare_methods,
+    paired_t_test,
+    sign_test,
+)
+from repro.evaluation.stability import (
+    coassociation_matrix,
+    consensus_labels,
+    stability_score,
+)
+from repro.evaluation.sweeps import grid_sweep
+from repro.evaluation.tables import format_metric_table, format_rows
+
+__all__ = [
+    "MethodSpec",
+    "default_method_registry",
+    "make_method",
+    "AggregatedScore",
+    "MethodScores",
+    "run_experiment",
+    "run_method_once",
+    "grid_sweep",
+    "format_metric_table",
+    "format_rows",
+    "bar_chart",
+    "heatmap",
+    "line_plot",
+    "compare_methods",
+    "paired_t_test",
+    "sign_test",
+    "coassociation_matrix",
+    "consensus_labels",
+    "stability_score",
+    "render_metric_section",
+    "render_report",
+    "SelectionResult",
+    "select_umsc_unsupervised",
+]

@@ -1,0 +1,110 @@
+"""Terminal-friendly plots for the evaluation artifacts.
+
+No plotting backend is assumed (this library runs in headless
+environments); the figures the paper draws are rendered as unicode text:
+
+* :func:`bar_chart` — horizontal bars for method comparisons (Figure 3);
+* :func:`heatmap` — shaded grid for the sensitivity surface (Figure 2);
+* :func:`line_plot` — objective-vs-iteration trace (Figure 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+_SHADES = " ░▒▓█"
+_BAR = "█"
+
+
+def bar_chart(values: dict, *, width: int = 50, fmt: str = "{:.3f}") -> str:
+    """Horizontal bar chart of ``{label: value}`` (non-negative values).
+
+    Examples
+    --------
+    >>> print(bar_chart({"a": 1.0, "b": 0.5}, width=4))
+    a  1.000 ████
+    b  0.500 ██
+    """
+    if not values:
+        raise ValidationError("bar_chart needs at least one value")
+    numeric = {str(k): float(v) for k, v in values.items()}
+    if any(v < 0 for v in numeric.values()):
+        raise ValidationError("bar_chart values must be non-negative")
+    top = max(numeric.values())
+    label_w = max(len(k) for k in numeric)
+    lines = []
+    for label, value in numeric.items():
+        bar_len = 0 if top == 0 else int(round(width * value / top))
+        lines.append(
+            f"{label.ljust(label_w)}  {fmt.format(value)} {_BAR * bar_len}"
+        )
+    return "\n".join(lines)
+
+
+def heatmap(
+    grid: np.ndarray,
+    *,
+    row_labels=None,
+    col_labels=None,
+    fmt: str = "{:.2f}",
+) -> str:
+    """Shaded text heatmap of a 2-D array (higher = darker).
+
+    Cell text shows the value; the trailing glyph encodes its rank within
+    the grid's range.
+    """
+    arr = np.asarray(grid, dtype=np.float64)
+    if arr.ndim != 2 or arr.size == 0:
+        raise ValidationError("heatmap needs a non-empty 2-D array")
+    lo, hi = float(arr.min()), float(arr.max())
+    span = hi - lo
+
+    def shade(v: float) -> str:
+        if span == 0:
+            return _SHADES[-1]
+        idx = int((v - lo) / span * (len(_SHADES) - 1))
+        return _SHADES[idx]
+
+    rows, cols = arr.shape
+    row_labels = [str(r) for r in (row_labels or range(rows))]
+    col_labels = [str(c) for c in (col_labels or range(cols))]
+    if len(row_labels) != rows or len(col_labels) != cols:
+        raise ValidationError("label lengths must match the grid shape")
+    cell_w = max(
+        max(len(fmt.format(v)) for v in arr.ravel()) + 1,
+        max(len(c) for c in col_labels),
+    )
+    label_w = max(len(r) for r in row_labels)
+    header = " " * (label_w + 2) + " ".join(c.rjust(cell_w) for c in col_labels)
+    lines = [header]
+    for i in range(rows):
+        cells = [
+            (fmt.format(arr[i, j]) + shade(arr[i, j])).rjust(cell_w)
+            for j in range(cols)
+        ]
+        lines.append(f"{row_labels[i].ljust(label_w)}  " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def line_plot(values, *, height: int = 8, width: int | None = None) -> str:
+    """Block-character line plot of a numeric series (top = max)."""
+    series = [float(v) for v in values]
+    if not series:
+        raise ValidationError("line_plot needs at least one value")
+    if height < 1:
+        raise ValidationError("height must be >= 1")
+    if width is not None and width < len(series):
+        # Downsample by striding.
+        stride = int(np.ceil(len(series) / width))
+        series = series[::stride]
+    lo, hi = min(series), max(series)
+    span = hi - lo
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = lo + span * (level - 0.5) / height
+        row = "".join("█" if v >= threshold else " " for v in series)
+        rows.append(row)
+    axis = "─" * len(series)
+    return "\n".join(rows + [axis])

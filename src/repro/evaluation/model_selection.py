@@ -1,0 +1,101 @@
+"""Unsupervised hyperparameter selection for the unified framework.
+
+The tuned configurations in :mod:`repro.core.tuning` were selected against
+ground truth — the literature's protocol, but unusable in a real
+deployment where no labels exist.  This module provides the label-free
+alternative: sweep a grid and pick the configuration whose clustering
+scores the highest **silhouette on the learned embedding** (the embedding
+is the method's own geometry, so the criterion is internally consistent
+and comparable across graph parameters).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.core.model import UnifiedMVSC
+from repro.exceptions import ValidationError
+from repro.metrics.silhouette import silhouette_score
+from repro.utils.validation import check_views
+
+
+@dataclass(frozen=True)
+class SelectionPoint:
+    """One evaluated configuration."""
+
+    params: dict
+    silhouette: float
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of an unsupervised grid selection."""
+
+    best_params: dict
+    best_silhouette: float
+    points: tuple
+
+    def build(self, n_clusters: int, random_state=None) -> UnifiedMVSC:
+        """Construct the selected model."""
+        return UnifiedMVSC(
+            n_clusters, random_state=random_state, **self.best_params
+        )
+
+
+#: Compact default grid for label-free selection.
+DEFAULT_UNSUPERVISED_GRID = {
+    "consensus": [0.0, 1.0, 4.0],
+    "n_neighbors": [10, 15],
+}
+
+
+def select_umsc_unsupervised(
+    views,
+    n_clusters: int,
+    *,
+    grid: dict | None = None,
+    random_state: int = 0,
+) -> SelectionResult:
+    """Pick UMSC hyperparameters without labels.
+
+    Parameters
+    ----------
+    views : sequence of ndarray (n, d_v)
+        The data to cluster.
+    n_clusters : int
+        Number of clusters.
+    grid : dict, optional
+        Parameter name -> candidate values (Cartesian product); defaults
+        to :data:`DEFAULT_UNSUPERVISED_GRID`.
+    random_state : int
+        Shared seed so candidates differ only in their parameters.
+
+    Returns
+    -------
+    SelectionResult
+        The best configuration by embedding silhouette, plus every
+        evaluated point for inspection.
+    """
+    views = check_views(views)
+    grid = dict(DEFAULT_UNSUPERVISED_GRID if grid is None else grid)
+    if not grid:
+        raise ValidationError("grid must contain at least one parameter")
+    names = list(grid)
+    points = []
+    best: SelectionPoint | None = None
+    for combo in itertools.product(*(grid[name] for name in names)):
+        params = dict(zip(names, combo))
+        model = UnifiedMVSC(n_clusters, random_state=random_state, **params)
+        result = model.fit(views)
+        score = silhouette_score(result.embedding, result.labels)
+        point = SelectionPoint(params=params, silhouette=score)
+        points.append(point)
+        if best is None or score > best.silhouette:
+            best = point
+    assert best is not None
+    return SelectionResult(
+        best_params=best.params,
+        best_silhouette=best.silhouette,
+        points=tuple(points),
+    )

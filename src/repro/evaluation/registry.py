@@ -1,0 +1,125 @@
+"""The canonical method registry — the paper's comparison row list.
+
+Each entry is a :class:`MethodSpec` naming one row of the result tables and
+knowing how to construct the estimator.  The two oracle rows (``SC_best``,
+``SC_worst``) follow the literature's convention of reporting the best /
+worst single view selected *post hoc* against the ground truth; the runner
+handles that selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.baselines import (
+    AMGL,
+    AWP,
+    ConcatKMeans,
+    ConcatSC,
+    CoRegSC,
+    CoTrainSC,
+    KernelAdditionSC,
+    MLAN,
+    MultiViewKMeans,
+    SwMC,
+)
+from repro.core import TwoStageMVSC, UnifiedMVSC
+from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """One comparison row.
+
+    Attributes
+    ----------
+    name : str
+        Row label used in tables.
+    builder : callable
+        ``builder(n_clusters, random_state)`` returning an object with
+        ``fit_predict(views) -> labels``.
+    oracle : str or None
+        ``"best"`` / ``"worst"`` for the post-hoc single-view rows (the
+        runner evaluates every view and selects); ``None`` otherwise.
+    uses_dataset : bool
+        When True the builder is called as
+        ``builder(n_clusters, random_state, dataset_name)`` so the method
+        can apply its per-dataset tuned configuration (the literature's
+        protocol for the proposed method).
+    """
+
+    name: str
+    builder: Callable
+    oracle: str | None = None
+    uses_dataset: bool = False
+
+
+class _UMSCAdapter:
+    """Expose :class:`UnifiedMVSC` through the plain ``fit_predict`` shape.
+
+    Uses the per-dataset tuned configuration from
+    :mod:`repro.core.tuning` when the dataset name is known.
+    """
+
+    def __init__(self, n_clusters: int, random_state, dataset_name=None) -> None:
+        from repro.core.tuning import recommended_umsc
+
+        self.model = recommended_umsc(
+            n_clusters, dataset_name=dataset_name, random_state=random_state
+        )
+
+    def fit_predict(self, views):
+        return self.model.fit(views).labels
+
+
+def default_method_registry() -> dict:
+    """Name -> :class:`MethodSpec` for every row of Tables II-IV."""
+    specs = [
+        MethodSpec("SC_best", None, oracle="best"),
+        MethodSpec("SC_worst", None, oracle="worst"),
+        MethodSpec(
+            "ConcatKMeans",
+            lambda c, rs: ConcatKMeans(c, random_state=rs),
+        ),
+        MethodSpec("ConcatSC", lambda c, rs: ConcatSC(c, random_state=rs)),
+        MethodSpec(
+            "KernelAddSC",
+            lambda c, rs: KernelAdditionSC(c, random_state=rs),
+        ),
+        MethodSpec("CoRegSC", lambda c, rs: CoRegSC(c, random_state=rs)),
+        MethodSpec("CoTrainSC", lambda c, rs: CoTrainSC(c, random_state=rs)),
+        MethodSpec("AMGL", lambda c, rs: AMGL(c, random_state=rs)),
+        MethodSpec("MLAN", lambda c, rs: MLAN(c, random_state=rs)),
+        MethodSpec(
+            "MVKM", lambda c, rs: MultiViewKMeans(c, random_state=rs)
+        ),
+        MethodSpec("AWP", lambda c, rs: AWP(c, random_state=rs)),
+        MethodSpec("SwMC", lambda c, rs: SwMC(c, random_state=rs)),
+        MethodSpec(
+            "TwoStageMVSC",
+            lambda c, rs: TwoStageMVSC(c, random_state=rs),
+        ),
+        MethodSpec(
+            "UMSC",
+            lambda c, rs, ds_name=None: _UMSCAdapter(c, rs, ds_name),
+            uses_dataset=True,
+        ),
+    ]
+    return {spec.name: spec for spec in specs}
+
+
+def make_method(name: str, n_clusters: int, random_state=None):
+    """Construct a registered (non-oracle) method by name."""
+    registry = default_method_registry()
+    if name not in registry:
+        raise ValidationError(
+            f"unknown method {name!r}; available: {list(registry)}"
+        )
+    spec = registry[name]
+    if spec.oracle is not None:
+        raise ValidationError(
+            f"{name!r} is an oracle row; it is evaluated by the runner, "
+            "not constructed directly"
+        )
+    return spec.builder(n_clusters, random_state)

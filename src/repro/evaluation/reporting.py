@@ -1,0 +1,72 @@
+"""Markdown experiment reports from runner results.
+
+Turns ``{dataset: {method: MethodScores}}`` structures (as produced by
+:func:`repro.evaluation.runner.run_experiment` per dataset) into the
+markdown sections EXPERIMENTS.md records, so the document can be
+regenerated mechanically after a protocol run.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.tables import (
+    format_metric_table,
+    format_timing_table,
+    summarize_ranks,
+)
+from repro.exceptions import ValidationError
+
+
+def render_metric_section(results_by_dataset: dict, metric: str) -> str:
+    """One metric's table plus its average-rank line, fenced for markdown."""
+    if not results_by_dataset:
+        raise ValidationError("no results to report")
+    table = format_metric_table(results_by_dataset, metric)
+    ranks = summarize_ranks(results_by_dataset, metric)
+    rank_line = ", ".join(
+        f"{name}={rank:.2f}"
+        for name, rank in sorted(ranks.items(), key=lambda t: t[1])
+    )
+    return f"```\n{table}\n```\n\nAverage rank (1 = best): {rank_line}\n"
+
+
+def render_report(
+    results_by_dataset: dict,
+    *,
+    metrics=("acc", "nmi", "purity"),
+    title: str = "Measured comparison tables",
+    include_timing: bool = True,
+) -> str:
+    """Full markdown report: one section per metric plus timing.
+
+    Parameters
+    ----------
+    results_by_dataset : dict
+        ``{dataset_name: {method_name: MethodScores}}``.
+    metrics : tuple of str
+        Metrics to render (must be present in the results).
+    title : str
+        Top-level heading.
+    include_timing : bool
+        Append the mean wall-clock table.
+    """
+    if not results_by_dataset:
+        raise ValidationError("no results to report")
+    runs = {
+        scores.n_runs
+        for per_method in results_by_dataset.values()
+        for scores in per_method.values()
+    }
+    runs_note = (
+        f"{min(runs)} seeds" if len(runs) == 1 else f"{min(runs)}-{max(runs)} seeds"
+    )
+    parts = [f"## {title}", "", f"(mean ± std over {runs_note} per dataset)", ""]
+    for metric in metrics:
+        parts.append(f"### {metric.upper()}")
+        parts.append("")
+        parts.append(render_metric_section(results_by_dataset, metric))
+    if include_timing:
+        parts.append("### Mean wall-clock seconds")
+        parts.append("")
+        parts.append(f"```\n{format_timing_table(results_by_dataset)}\n```")
+        parts.append("")
+    return "\n".join(parts)

@@ -1,0 +1,149 @@
+"""Paired significance tests for method comparisons.
+
+The literature marks "significantly better" cells in its result tables.
+This module implements the two standard paired tests over per-seed metric
+values, from first principles:
+
+* :func:`paired_t_test` — Student's t on per-seed differences (normal
+  approximation of the t CDF is avoided: the exact CDF comes from the
+  regularized incomplete beta function via :mod:`scipy.special`);
+* :func:`sign_test` — the distribution-free binomial sign test, robust to
+  non-normal differences;
+* :func:`compare_methods` — convenience wrapper over two
+  :class:`~repro.evaluation.runner.MethodScores` entries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.special
+
+from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """Outcome of a paired significance test.
+
+    Attributes
+    ----------
+    statistic : float
+        The test statistic (t value, or number of positive differences).
+    p_value : float
+        Two-sided p-value.
+    mean_difference : float
+        Mean of (a - b); positive means the first method scored higher.
+    n : int
+        Number of informative pairs.
+    """
+
+    statistic: float
+    p_value: float
+    mean_difference: float
+    n: int
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """True iff the two-sided p-value is below ``alpha``."""
+        return self.p_value < alpha
+
+
+def _validate_pairs(a, b) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 1 or b.ndim != 1:
+        raise ValidationError("paired samples must be 1-D")
+    if a.size != b.size:
+        raise ValidationError(
+            f"paired samples must have equal length, got {a.size} and {b.size}"
+        )
+    if a.size < 2:
+        raise ValidationError("need at least 2 pairs")
+    if not (np.all(np.isfinite(a)) and np.all(np.isfinite(b))):
+        raise ValidationError("paired samples must be finite")
+    return a, b
+
+
+def _t_sf(t: float, df: float) -> float:
+    """Survival function of Student's t via the incomplete beta function."""
+    x = df / (df + t * t)
+    prob = 0.5 * scipy.special.betainc(df / 2.0, 0.5, x)
+    return prob if t >= 0 else 1.0 - prob
+
+
+def paired_t_test(a, b) -> TestResult:
+    """Two-sided paired t-test on per-seed scores.
+
+    Degenerate case: when every difference is identical (zero variance),
+    the p-value is 0.0 if the common difference is nonzero and 1.0
+    otherwise.
+    """
+    a, b = _validate_pairs(a, b)
+    diff = a - b
+    n = diff.size
+    mean = float(diff.mean())
+    sd = float(diff.std(ddof=1))
+    if sd == 0.0:
+        return TestResult(
+            statistic=math.inf if mean != 0 else 0.0,
+            p_value=0.0 if mean != 0 else 1.0,
+            mean_difference=mean,
+            n=n,
+        )
+    t = mean / (sd / math.sqrt(n))
+    p = 2.0 * _t_sf(abs(t), n - 1)
+    return TestResult(
+        statistic=float(t),
+        p_value=float(min(max(p, 0.0), 1.0)),
+        mean_difference=mean,
+        n=n,
+    )
+
+
+def sign_test(a, b) -> TestResult:
+    """Two-sided binomial sign test on per-seed scores.
+
+    Ties (zero differences) are discarded, per the standard treatment.
+    """
+    a, b = _validate_pairs(a, b)
+    diff = a - b
+    informative = diff[diff != 0]
+    n = informative.size
+    if n == 0:
+        return TestResult(
+            statistic=0.0, p_value=1.0, mean_difference=0.0, n=0
+        )
+    positives = int(np.sum(informative > 0))
+    # Exact two-sided binomial p-value under p = 1/2.
+    k = min(positives, n - positives)
+    tail = sum(math.comb(n, i) for i in range(0, k + 1)) / 2.0**n
+    p = min(1.0, 2.0 * tail)
+    return TestResult(
+        statistic=float(positives),
+        p_value=float(p),
+        mean_difference=float(diff.mean()),
+        n=n,
+    )
+
+
+def compare_methods(scores_a, scores_b, metric: str = "acc") -> TestResult:
+    """Paired t-test between two runner results on the same dataset/seeds.
+
+    Parameters
+    ----------
+    scores_a, scores_b : MethodScores
+        Entries from :func:`repro.evaluation.runner.run_experiment` (same
+        dataset and seed protocol).
+    metric : str
+        Which metric's per-seed values to compare.
+    """
+    for scores in (scores_a, scores_b):
+        if metric not in scores.scores:
+            raise ValidationError(
+                f"metric {metric!r} missing from {scores.method}"
+            )
+    return paired_t_test(
+        scores_a.scores[metric].values, scores_b.scores[metric].values
+    )

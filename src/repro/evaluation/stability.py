@@ -1,0 +1,83 @@
+"""Clustering stability analysis via co-association.
+
+The paper's one-stage argument is partly about *stability*: K-means
+discretization re-rolls the dice each run.  This module quantifies that:
+
+* :func:`coassociation_matrix` — for a set of labelings (e.g. one per
+  seed), the fraction of runs in which each sample pair shared a cluster;
+* :func:`consensus_labels` — evidence-accumulation consensus (Fred & Jain,
+  2005): spectral clustering of the co-association matrix;
+* :func:`stability_score` — mean pairwise ARI between runs, the standard
+  scalar stability summary (1 = perfectly repeatable).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.cluster.spectral import spectral_clustering
+from repro.exceptions import ValidationError
+from repro.metrics.ari import adjusted_rand_index
+from repro.utils.validation import check_labels
+
+
+def _check_runs(labelings) -> list[np.ndarray]:
+    runs = [check_labels(labels, f"labelings[{i}]") for i, labels in enumerate(labelings)]
+    if len(runs) < 2:
+        raise ValidationError("need at least 2 labelings")
+    n = runs[0].size
+    for i, labels in enumerate(runs):
+        if labels.size != n:
+            raise ValidationError(
+                f"labelings[{i}] has length {labels.size}, expected {n}"
+            )
+    return runs
+
+
+def coassociation_matrix(labelings) -> np.ndarray:
+    """Pairwise co-clustering frequency across runs.
+
+    Parameters
+    ----------
+    labelings : sequence of array-like, each shape (n,)
+        One labeling per run (cluster ids need not align across runs).
+
+    Returns
+    -------
+    ndarray of shape (n, n)
+        Entry (i, j) is the fraction of runs assigning i and j to the same
+        cluster; diagonal is 1.
+    """
+    runs = _check_runs(labelings)
+    n = runs[0].size
+    co = np.zeros((n, n))
+    for labels in runs:
+        same = labels[:, None] == labels[None, :]
+        co += same
+    co /= len(runs)
+    return co
+
+
+def consensus_labels(
+    labelings, n_clusters: int, *, random_state=None
+) -> np.ndarray:
+    """Evidence-accumulation consensus clustering.
+
+    Runs spectral clustering on the co-association matrix (self-loops
+    removed), which merges the stable structure of all runs and washes out
+    run-specific noise.
+    """
+    co = coassociation_matrix(labelings)
+    np.fill_diagonal(co, 0.0)
+    return spectral_clustering(co, n_clusters, random_state=random_state)
+
+
+def stability_score(labelings) -> float:
+    """Mean pairwise ARI between runs (1 = perfectly repeatable)."""
+    runs = _check_runs(labelings)
+    scores = [
+        adjusted_rand_index(a, b) for a, b in itertools.combinations(runs, 2)
+    ]
+    return float(np.mean(scores))

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised by this library derive from :class:`ReproError`, so callers
+can catch a single base class.  Subclasses partition failures by origin:
+invalid user input, numerical trouble, and convergence problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Raised when user-supplied data or parameters are invalid.
+
+    Also a :class:`ValueError` so code written against standard numpy
+    conventions keeps working.
+    """
+
+
+class NumericalError(ReproError, ArithmeticError):
+    """Raised when a numerical routine produces non-finite or unusable output."""
+
+
+class ConvergenceWarning(UserWarning):
+    """Warning emitted when an iterative solver stops before converging."""
+
+
+class DatasetError(ReproError, KeyError):
+    """Raised when a dataset name is unknown or a dataset file is malformed."""

@@ -1,0 +1,47 @@
+"""k-nearest-neighbor index computation over a distance matrix."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def kneighbors(
+    distances: np.ndarray, k: int, *, include_self: bool = False
+) -> tuple[np.ndarray, np.ndarray]:
+    """Indices and distances of each row's ``k`` nearest neighbors.
+
+    Parameters
+    ----------
+    distances : ndarray of shape (n, n)
+        Precomputed pairwise distance matrix.
+    k : int
+        Number of neighbors per point; ``1 <= k <= n - 1`` (or ``n`` when
+        ``include_self``).
+    include_self : bool
+        If False (default), a point is never its own neighbor.
+
+    Returns
+    -------
+    (indices, dists)
+        Both of shape ``(n, k)``; neighbors sorted by increasing distance.
+    """
+    d = np.asarray(distances, dtype=np.float64)
+    if d.ndim != 2 or d.shape[0] != d.shape[1]:
+        raise ValidationError(f"distances must be square 2-D, got shape {d.shape}")
+    if np.any(np.isnan(d)):
+        raise ValidationError("distances contains NaN entries")
+    n = d.shape[0]
+    limit = n if include_self else n - 1
+    if not 1 <= k <= limit:
+        raise ValidationError(f"k must be in [1, {limit}] for n={n}, got {k}")
+    work = d.copy()
+    if not include_self:
+        np.fill_diagonal(work, np.inf)
+    # argpartition then sort within the top-k slice: O(n^2 + n k log k).
+    part = np.argpartition(work, k - 1, axis=1)[:, :k]
+    row = np.arange(n)[:, None]
+    order = np.argsort(work[row, part], axis=1, kind="stable")
+    idx = part[row, order]
+    return idx, work[row, idx]

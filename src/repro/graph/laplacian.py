@@ -1,0 +1,77 @@
+"""Graph Laplacians and degree utilities.
+
+Given a symmetric non-negative affinity ``W`` with degree matrix
+``D = diag(W 1)``, three Laplacian normalizations are standard:
+
+* unnormalized: ``L = D - W``;
+* symmetric:    ``L_sym = I - D^{-1/2} W D^{-1/2}``;
+* random walk:  ``L_rw = I - D^{-1} W``.
+
+The symmetric normalization is the default throughout the library, matching
+the normalized-cut relaxation the paper's framework builds on.  Isolated
+vertices (zero degree) are handled by treating their inverse degree as zero,
+which leaves them as exact null-space directions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_symmetric
+
+
+def degree_vector(w: np.ndarray) -> np.ndarray:
+    """Row-sum degree vector of a symmetric affinity."""
+    w = check_symmetric(w, "w")
+    if np.any(w < -1e-12):
+        raise ValidationError("affinity must be non-negative")
+    return np.sum(np.maximum(w, 0.0), axis=1)
+
+
+def _inv_sqrt_degrees(d: np.ndarray) -> np.ndarray:
+    with np.errstate(divide="ignore"):
+        inv = 1.0 / np.sqrt(d)
+    inv[~np.isfinite(inv)] = 0.0
+    return inv
+
+
+def normalized_adjacency(w: np.ndarray) -> np.ndarray:
+    """Symmetrically normalized adjacency ``D^{-1/2} W D^{-1/2}``."""
+    w = check_symmetric(w, "w")
+    d = degree_vector(w)
+    inv_sqrt = _inv_sqrt_degrees(d)
+    return (w * inv_sqrt[:, None]) * inv_sqrt[None, :]
+
+
+def laplacian(w: np.ndarray, *, normalization: str = "symmetric") -> np.ndarray:
+    """Graph Laplacian of a symmetric non-negative affinity.
+
+    Parameters
+    ----------
+    w : ndarray of shape (n, n)
+        Symmetric non-negative affinity with zero (or ignorable) diagonal.
+    normalization : {"symmetric", "unnormalized", "random_walk"}
+        Which Laplacian to build.
+
+    Returns
+    -------
+    ndarray of shape (n, n)
+        The requested Laplacian.  The symmetric variant is returned exactly
+        symmetric; its eigenvalues lie in ``[0, 2]``.
+    """
+    w = check_symmetric(w, "w")
+    d = degree_vector(w)
+    n = w.shape[0]
+    if normalization == "unnormalized":
+        return np.diag(d) - w
+    if normalization == "symmetric":
+        a = normalized_adjacency(w)
+        lap = np.eye(n) - a
+        return (lap + lap.T) / 2.0
+    if normalization == "random_walk":
+        with np.errstate(divide="ignore"):
+            inv = 1.0 / d
+        inv[~np.isfinite(inv)] = 0.0
+        return np.eye(n) - inv[:, None] * w
+    raise ValidationError(f"unknown normalization: {normalization!r}")

@@ -1,0 +1,28 @@
+"""Dense linear-algebra substrate used by the clustering algorithms.
+
+Everything here operates on plain numpy arrays.  The submodules provide the
+three primitives that one-stage multi-view spectral clustering is built from:
+
+* :mod:`repro.linalg.eigen` — extremal eigenpairs of symmetric matrices;
+* :mod:`repro.linalg.procrustes` — the orthogonal Procrustes rotation;
+* :mod:`repro.linalg.gpi` — generalized power iteration for quadratic
+  problems over the Stiefel manifold;
+* :mod:`repro.linalg.checks` — numerical predicates (orthonormality, PSD).
+"""
+
+from repro.linalg.checks import is_orthonormal, is_psd, orthonormality_error
+from repro.linalg.eigen import eigsh_largest, eigsh_smallest, sorted_eigh
+from repro.linalg.gpi import gpi_stiefel
+from repro.linalg.procrustes import nearest_orthogonal, orthogonal_procrustes
+
+__all__ = [
+    "is_orthonormal",
+    "is_psd",
+    "orthonormality_error",
+    "eigsh_largest",
+    "eigsh_smallest",
+    "sorted_eigh",
+    "gpi_stiefel",
+    "nearest_orthogonal",
+    "orthogonal_procrustes",
+]

@@ -1,0 +1,33 @@
+"""Numerical predicates used in assertions, tests, and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_matrix, check_square
+
+
+def orthonormality_error(f: np.ndarray) -> float:
+    """Max-abs deviation of ``F^T F`` from the identity.
+
+    Zero (up to roundoff) iff the columns of ``f`` are orthonormal.
+    """
+    f = check_matrix(f, "f")
+    k = f.shape[1]
+    return float(np.max(np.abs(f.T @ f - np.eye(k))))
+
+
+def is_orthonormal(f: np.ndarray, *, tol: float = 1e-8) -> bool:
+    """True iff the columns of ``f`` are orthonormal within ``tol``."""
+    return orthonormality_error(f) <= tol
+
+
+def is_psd(a: np.ndarray, *, tol: float = 1e-8) -> bool:
+    """True iff symmetric ``a`` is positive semidefinite within ``tol``.
+
+    Uses the smallest eigenvalue; intended for test-sized matrices.
+    """
+    a = check_square(a, "a")
+    a = (a + a.T) / 2.0
+    smallest = float(np.linalg.eigvalsh(a)[0])
+    return smallest >= -tol

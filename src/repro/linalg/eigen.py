@@ -1,0 +1,104 @@
+"""Extremal eigenpair solvers for symmetric matrices.
+
+Spectral clustering needs the ``k`` smallest eigenvectors of a graph
+Laplacian (or the ``k`` largest of a normalized affinity).  For the problem
+sizes of the paper's benchmarks (n up to a few thousand) a dense ``eigh`` is
+both the fastest and the most robust choice; for larger sparse problems we
+fall back to Lanczos (:func:`scipy.sparse.linalg.eigsh`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+import scipy.sparse
+import scipy.sparse.linalg
+
+from repro.exceptions import NumericalError, ValidationError
+from repro.utils.validation import check_square
+
+#: Above this dimension, prefer Lanczos when k << n and the matrix is sparse.
+_DENSE_CUTOFF = 4096
+
+
+def sorted_eigh(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Full eigendecomposition of a symmetric matrix, ascending eigenvalues.
+
+    Parameters
+    ----------
+    a : ndarray of shape (n, n)
+        Symmetric matrix (symmetrized internally to guard against roundoff).
+
+    Returns
+    -------
+    (values, vectors)
+        ``values`` ascending, ``vectors[:, i]`` the eigenvector of
+        ``values[i]``.
+    """
+    a = check_square(a, "a")
+    a = (a + a.T) / 2.0
+    values, vectors = scipy.linalg.eigh(a)
+    if not np.all(np.isfinite(values)):
+        raise NumericalError("eigendecomposition produced non-finite eigenvalues")
+    return values, vectors
+
+
+def _validate_k(n: int, k: int) -> None:
+    if not 1 <= k <= n:
+        raise ValidationError(f"k must be in [1, {n}], got {k}")
+
+
+def eigsh_smallest(a, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """The ``k`` algebraically smallest eigenpairs of a symmetric matrix.
+
+    Accepts dense arrays or scipy sparse matrices.  Dense path uses LAPACK's
+    ``eigh`` with an index subset; the sparse path uses shift-invert-free
+    Lanczos with ``sigma=None, which='SA'``.
+
+    Returns
+    -------
+    (values, vectors)
+        ``values`` ascending, shape ``(k,)``; ``vectors`` shape ``(n, k)``.
+    """
+    if scipy.sparse.issparse(a):
+        n = a.shape[0]
+        _validate_k(n, k)
+        if k >= n - 1 or n <= _DENSE_CUTOFF:
+            return eigsh_smallest(np.asarray(a.todense()), k)
+        values, vectors = scipy.sparse.linalg.eigsh(a, k=k, which="SA")
+        order = np.argsort(values)
+        return values[order], vectors[:, order]
+    a = check_square(a, "a")
+    n = a.shape[0]
+    _validate_k(n, k)
+    a = (a + a.T) / 2.0
+    values, vectors = scipy.linalg.eigh(a, subset_by_index=(0, k - 1))
+    if not np.all(np.isfinite(values)):
+        raise NumericalError("eigendecomposition produced non-finite eigenvalues")
+    return values, vectors
+
+
+def eigsh_largest(a, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """The ``k`` algebraically largest eigenpairs of a symmetric matrix.
+
+    Returns
+    -------
+    (values, vectors)
+        ``values`` descending, shape ``(k,)``; ``vectors`` shape ``(n, k)``.
+    """
+    if scipy.sparse.issparse(a):
+        n = a.shape[0]
+        _validate_k(n, k)
+        if k >= n - 1 or n <= _DENSE_CUTOFF:
+            return eigsh_largest(np.asarray(a.todense()), k)
+        values, vectors = scipy.sparse.linalg.eigsh(a, k=k, which="LA")
+        order = np.argsort(values)[::-1]
+        return values[order], vectors[:, order]
+    a = check_square(a, "a")
+    n = a.shape[0]
+    _validate_k(n, k)
+    a = (a + a.T) / 2.0
+    values, vectors = scipy.linalg.eigh(a, subset_by_index=(n - k, n - 1))
+    if not np.all(np.isfinite(values)):
+        raise NumericalError("eigendecomposition produced non-finite eigenvalues")
+    return values[::-1], vectors[:, ::-1]

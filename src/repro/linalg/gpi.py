@@ -1,0 +1,144 @@
+"""Generalized power iteration (GPI) on the Stiefel manifold.
+
+The embedding update of the unified framework is a quadratic problem with
+orthogonality constraints (QPOC):
+
+``min_F  tr(F^T A F) - 2 tr(F^T B)    s.t.  F^T F = I_k``
+
+with symmetric ``A`` (a fused graph Laplacian) and an ``(n, k)`` linear term
+``B`` (the rotated indicator target).  Nie, Zhang & Li (IJCAI 2017) showed
+the iteration
+
+``M <- 2 (eta I - A) F + 2 B ;  F <- polar(M)``
+
+is monotonically non-increasing in the objective whenever
+``eta >= lambda_max(A)``, because ``eta I - A`` is then positive
+semidefinite.  This module implements that iteration with a convergence
+check on the objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import NumericalError, ValidationError
+from repro.linalg.procrustes import nearest_orthogonal
+from repro.utils.validation import check_matrix, check_symmetric
+
+
+@dataclass(frozen=True)
+class GPIResult:
+    """Outcome of a generalized power iteration run.
+
+    Attributes
+    ----------
+    f : ndarray of shape (n, k)
+        Orthonormal minimizer found.
+    objective : float
+        Final value of ``tr(F^T A F) - 2 tr(F^T B)``.
+    n_iter : int
+        Iterations performed.
+    converged : bool
+        Whether the relative objective change fell below tolerance.
+    history : list of float
+        Objective value after every iteration.
+    """
+
+    f: np.ndarray
+    objective: float
+    n_iter: int
+    converged: bool
+    history: list = field(default_factory=list)
+
+
+def _qpoc_objective(a: np.ndarray, b: np.ndarray, f: np.ndarray) -> float:
+    return float(np.trace(f.T @ a @ f) - 2.0 * np.trace(f.T @ b))
+
+
+def gpi_stiefel(
+    a: np.ndarray,
+    b: np.ndarray,
+    f0: np.ndarray | None = None,
+    *,
+    max_iter: int = 100,
+    tol: float = 1e-8,
+    eta: float | None = None,
+) -> GPIResult:
+    """Minimize ``tr(F^T A F) - 2 tr(F^T B)`` over ``F^T F = I``.
+
+    Parameters
+    ----------
+    a : ndarray of shape (n, n)
+        Symmetric quadratic term.
+    b : ndarray of shape (n, k)
+        Linear term; its column count sets the Stiefel dimension ``k``.
+    f0 : ndarray of shape (n, k), optional
+        Warm start with orthonormal columns.  Defaults to the polar factor
+        of ``b`` (or a slice of the identity if ``b`` is zero).
+    max_iter : int
+        Iteration cap.
+    tol : float
+        Relative objective-change stopping tolerance.
+    eta : float, optional
+        Shift making ``eta I - A`` PSD.  Defaults to a safe upper bound on
+        ``lambda_max(A)`` via the infinity norm (Gershgorin), avoiding an
+        eigen-decomposition.
+
+    Returns
+    -------
+    GPIResult
+    """
+    a = check_symmetric(a, "a")
+    b = check_matrix(b, "b")
+    n, k = b.shape
+    if a.shape[0] != n:
+        raise ValidationError(
+            f"a and b disagree on n: a is {a.shape[0]}x{a.shape[0]}, b has {n} rows"
+        )
+    if k > n:
+        raise ValidationError(f"Stiefel dimension k={k} exceeds n={n}")
+    if max_iter < 1:
+        raise ValidationError(f"max_iter must be >= 1, got {max_iter}")
+
+    if eta is None:
+        # Gershgorin bound: lambda_max(A) <= max_i sum_j |A_ij|.
+        eta = float(np.max(np.sum(np.abs(a), axis=1)))
+        eta = max(eta, 1e-12)
+
+    if f0 is None:
+        if np.any(b):
+            f = nearest_orthogonal(b)
+        else:
+            f = np.eye(n, k)
+    else:
+        f = check_matrix(f0, "f0")
+        if f.shape != (n, k):
+            raise ValidationError(f"f0 must have shape ({n}, {k}), got {f.shape}")
+
+    shifted = eta * np.eye(n) - a
+    history: list[float] = []
+    prev = _qpoc_objective(a, b, f)
+    converged = False
+    n_iter = 0
+    for n_iter in range(1, max_iter + 1):
+        m = 2.0 * (shifted @ f) + 2.0 * b
+        if not np.all(np.isfinite(m)):
+            raise NumericalError("GPI produced non-finite iterate")
+        f = nearest_orthogonal(m)
+        obj = _qpoc_objective(a, b, f)
+        history.append(obj)
+        denom = max(abs(prev), 1e-12)
+        if abs(prev - obj) / denom < tol:
+            converged = True
+            break
+        prev = obj
+
+    return GPIResult(
+        f=f,
+        objective=history[-1] if history else prev,
+        n_iter=n_iter,
+        converged=converged,
+        history=history,
+    )

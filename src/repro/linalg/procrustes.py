@@ -1,0 +1,76 @@
+"""Orthogonal Procrustes rotation.
+
+The rotation step of one-stage spectral clustering solves
+
+``max_R  tr(R^T M)   s.t.  R^T R = I``
+
+whose closed-form solution is ``R = U V^T`` where ``M = U S V^T`` is the
+(thin) singular value decomposition.  This is the classical orthogonal
+Procrustes problem; the same primitive also maps a continuous embedding onto
+a discrete indicator matrix in the spectral rotation literature.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from repro.exceptions import NumericalError
+from repro.utils.validation import check_matrix
+
+
+def nearest_orthogonal(m: np.ndarray) -> np.ndarray:
+    """Project a matrix onto the set of orthonormal-column matrices.
+
+    For ``m`` of shape ``(p, q)`` with ``p >= q``, returns the maximizer of
+    ``tr(Q^T m)`` over ``Q`` with ``Q^T Q = I_q`` — i.e. the orthogonal
+    polar factor ``U V^T`` of the thin SVD ``m = U S V^T``.
+
+    Parameters
+    ----------
+    m : ndarray of shape (p, q)
+        Any matrix with ``p >= q``.
+
+    Returns
+    -------
+    ndarray of shape (p, q)
+        The nearest (in Frobenius norm, for full-rank ``m``) matrix with
+        orthonormal columns.
+    """
+    m = check_matrix(m, "m")
+    if m.shape[0] < m.shape[1]:
+        raise NumericalError(
+            f"nearest_orthogonal requires p >= q, got shape {m.shape}"
+        )
+    try:
+        u, _, vt = scipy.linalg.svd(m, full_matrices=False)
+    except scipy.linalg.LinAlgError as exc:  # pragma: no cover - rare
+        raise NumericalError(f"SVD failed in nearest_orthogonal: {exc}") from exc
+    return u @ vt
+
+
+def orthogonal_procrustes(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``min_R ||a R - b||_F`` over square orthogonal ``R``.
+
+    Equivalently maximizes ``tr(R^T a^T b)``; the solution is the orthogonal
+    polar factor of ``a^T b``.
+
+    Parameters
+    ----------
+    a : ndarray of shape (n, q)
+        Source frame.
+    b : ndarray of shape (n, q)
+        Target frame; must have the same shape as ``a``.
+
+    Returns
+    -------
+    ndarray of shape (q, q)
+        Orthogonal rotation ``R`` with ``R^T R = I``.
+    """
+    a = check_matrix(a, "a")
+    b = check_matrix(b, "b")
+    if a.shape != b.shape:
+        raise NumericalError(
+            f"a and b must have the same shape, got {a.shape} and {b.shape}"
+        )
+    return nearest_orthogonal(a.T @ b)

@@ -1,0 +1,45 @@
+"""Clustering evaluation metrics.
+
+The multi-view clustering literature reports three headline numbers — ACC,
+NMI, and Purity — plus occasionally ARI and the pairwise F-score.  All are
+implemented here from first principles, including the Hungarian algorithm
+that ACC's label matching requires.
+"""
+
+from repro.metrics.accuracy import clustering_accuracy, best_label_mapping
+from repro.metrics.ari import adjusted_rand_index, pairwise_counts, rand_index
+from repro.metrics.confusion import contingency_matrix
+from repro.metrics.fscore import pairwise_f_score, pairwise_precision_recall
+from repro.metrics.hungarian import hungarian
+from repro.metrics.nmi import entropy, mutual_information, normalized_mutual_information
+from repro.metrics.purity import purity_score
+from repro.metrics.report import METRICS, evaluate_clustering
+from repro.metrics.silhouette import silhouette_samples, silhouette_score
+from repro.metrics.vmeasure import (
+    completeness_score,
+    homogeneity_score,
+    v_measure_score,
+)
+
+__all__ = [
+    "METRICS",
+    "clustering_accuracy",
+    "best_label_mapping",
+    "adjusted_rand_index",
+    "pairwise_counts",
+    "rand_index",
+    "contingency_matrix",
+    "pairwise_f_score",
+    "pairwise_precision_recall",
+    "hungarian",
+    "entropy",
+    "mutual_information",
+    "normalized_mutual_information",
+    "purity_score",
+    "evaluate_clustering",
+    "completeness_score",
+    "homogeneity_score",
+    "v_measure_score",
+    "silhouette_samples",
+    "silhouette_score",
+]

@@ -1,0 +1,54 @@
+"""Clustering accuracy (ACC) via optimal label matching.
+
+ACC is the fraction of samples correctly labeled under the *best* one-to-one
+mapping between predicted clusters and true classes:
+
+``ACC = max_perm  (1/n) sum_i  1[ y_i == perm(c_i) ]``
+
+The maximization is a linear assignment problem on the contingency matrix,
+solved with the from-scratch Hungarian algorithm in
+:mod:`repro.metrics.hungarian`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.confusion import contingency_matrix
+from repro.metrics.hungarian import hungarian
+
+
+def best_label_mapping(
+    labels_true: np.ndarray, labels_pred: np.ndarray
+) -> dict[int, int]:
+    """Optimal cluster -> class mapping maximizing matched samples.
+
+    Returns
+    -------
+    dict
+        Maps each predicted cluster value to the true class value it is
+        matched with.  Extra clusters (when there are more clusters than
+        classes) are absent from the dict.
+    """
+    c = contingency_matrix(labels_true, labels_pred)
+    t_classes = np.unique(np.asarray(labels_true))
+    p_classes = np.unique(np.asarray(labels_pred))
+    # Maximize matches == minimize negated contingency.
+    rows, cols = hungarian(-c.astype(np.float64))
+    return {int(p_classes[j]): int(t_classes[i]) for i, j in zip(rows, cols)}
+
+
+def clustering_accuracy(labels_true: np.ndarray, labels_pred: np.ndarray) -> float:
+    """ACC in ``[0, 1]``; 1 iff the clustering is a relabeling of the truth.
+
+    Examples
+    --------
+    >>> clustering_accuracy([0, 0, 1, 1], [1, 1, 0, 0])
+    1.0
+    >>> clustering_accuracy([0, 0, 1, 1], [0, 1, 0, 1])
+    0.5
+    """
+    c = contingency_matrix(labels_true, labels_pred)
+    rows, cols = hungarian(-c.astype(np.float64))
+    matched = int(np.sum(c[rows, cols]))
+    return matched / float(np.sum(c))

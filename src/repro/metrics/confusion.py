@@ -1,0 +1,38 @@
+"""Contingency (confusion) matrix between two labelings."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_labels
+
+
+def contingency_matrix(
+    labels_true: np.ndarray, labels_pred: np.ndarray
+) -> np.ndarray:
+    """Count matrix ``C[i, j] = #{samples with true class i, predicted j}``.
+
+    Classes/clusters are numbered by sorted unique value; empty rows/columns
+    never appear.
+
+    Parameters
+    ----------
+    labels_true, labels_pred : array-like of int, shape (n,)
+        Two labelings of the same samples (any integer values).
+
+    Returns
+    -------
+    ndarray of int64, shape (n_classes, n_clusters)
+    """
+    t = check_labels(labels_true, "labels_true")
+    p = check_labels(labels_pred, "labels_pred")
+    if t.size != p.size:
+        raise ValidationError(
+            f"labelings must have equal length, got {t.size} and {p.size}"
+        )
+    t_classes, t_idx = np.unique(t, return_inverse=True)
+    p_classes, p_idx = np.unique(p, return_inverse=True)
+    c = np.zeros((t_classes.size, p_classes.size), dtype=np.int64)
+    np.add.at(c, (t_idx, p_idx), 1)
+    return c

@@ -1,0 +1,34 @@
+"""Pairwise precision, recall, and F-score for clusterings.
+
+Treats "this pair of samples shares a cluster" as a binary prediction
+against "this pair shares a true class", then reports the usual
+precision/recall/F trio over all pairs.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.ari import pairwise_counts
+
+
+def pairwise_precision_recall(
+    labels_true, labels_pred
+) -> tuple[float, float]:
+    """Pairwise (precision, recall).
+
+    Precision is 1.0 when the prediction makes no positive pairs (all
+    singletons); recall is 1.0 when the truth has none.
+    """
+    tp, fp, fn, _ = pairwise_counts(labels_true, labels_pred)
+    precision = tp / (tp + fp) if tp + fp > 0 else 1.0
+    recall = tp / (tp + fn) if tp + fn > 0 else 1.0
+    return float(precision), float(recall)
+
+
+def pairwise_f_score(labels_true, labels_pred, *, beta: float = 1.0) -> float:
+    """Pairwise F-beta score in ``[0, 1]`` (beta=1 is the F1 convention)."""
+    precision, recall = pairwise_precision_recall(labels_true, labels_pred)
+    b2 = beta * beta
+    denom = b2 * precision + recall
+    if denom == 0:
+        return 0.0
+    return float((1.0 + b2) * precision * recall / denom)

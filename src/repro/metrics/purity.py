@@ -1,0 +1,29 @@
+"""Cluster purity.
+
+Each predicted cluster is credited with its most frequent true class:
+
+``Purity = (1/n) sum_clusters max_class |cluster ∩ class|``
+
+Purity is monotone in cluster count (singletons give 1.0), which is why the
+literature always pairs it with ACC and NMI rather than reporting it alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.confusion import contingency_matrix
+
+
+def purity_score(labels_true: np.ndarray, labels_pred: np.ndarray) -> float:
+    """Purity in ``(0, 1]``.
+
+    Examples
+    --------
+    >>> purity_score([0, 0, 1, 1], [1, 1, 0, 0])
+    1.0
+    >>> purity_score([0, 0, 1, 1], [0, 0, 0, 0])
+    0.5
+    """
+    c = contingency_matrix(labels_true, labels_pred)
+    return float(np.sum(c.max(axis=0)) / np.sum(c))

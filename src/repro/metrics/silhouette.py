@@ -1,0 +1,88 @@
+"""Silhouette coefficient, from scratch.
+
+The only metric in this package that needs **no ground truth**: for each
+sample, ``a`` is its mean distance to its own cluster and ``b`` the
+smallest mean distance to any other cluster; the silhouette is
+``(b - a) / max(a, b)`` in ``[-1, 1]``.  Used for unsupervised model
+selection (:mod:`repro.evaluation.model_selection`) — real deployments
+have no labels to tune against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.graph.distance import pairwise_sq_euclidean
+from repro.utils.validation import check_labels, check_matrix
+
+
+def silhouette_samples(
+    x: np.ndarray, labels: np.ndarray, *, precomputed: bool = False
+) -> np.ndarray:
+    """Per-sample silhouette values.
+
+    Parameters
+    ----------
+    x : ndarray
+        Feature matrix ``(n, d)``, or a precomputed ``(n, n)`` distance
+        matrix when ``precomputed=True``.
+    labels : array-like of int, shape (n,)
+        Cluster assignment; at least 2 clusters, every cluster non-empty.
+    precomputed : bool
+        Interpret ``x`` as distances.
+
+    Returns
+    -------
+    ndarray of shape (n,)
+        Values in ``[-1, 1]``; singleton clusters score 0 by convention.
+    """
+    x = check_matrix(x, "x")
+    labels = check_labels(labels, "labels", n=x.shape[0])
+    classes, inverse = np.unique(labels, return_inverse=True)
+    k = classes.size
+    if k < 2:
+        raise ValidationError("silhouette requires at least 2 clusters")
+    if precomputed:
+        if x.shape[0] != x.shape[1]:
+            raise ValidationError("precomputed distances must be square")
+        d = x
+    else:
+        d = np.sqrt(pairwise_sq_euclidean(x))
+
+    n = d.shape[0]
+    counts = np.bincount(inverse, minlength=k)
+    # Sum of distances from each sample to each cluster: (n, k).
+    cluster_sums = np.zeros((n, k))
+    for j in range(k):
+        cluster_sums[:, j] = d[:, inverse == j].sum(axis=1)
+
+    own = counts[inverse]
+    # a(i): mean intra-cluster distance, excluding self.
+    with np.errstate(invalid="ignore", divide="ignore"):
+        a = cluster_sums[np.arange(n), inverse] / np.maximum(own - 1, 1)
+    # b(i): min over other clusters of mean distance.
+    means = cluster_sums / counts[None, :]
+    means[np.arange(n), inverse] = np.inf
+    b = means.min(axis=1)
+
+    denom = np.maximum(a, b)
+    s = np.where(denom > 0, (b - a) / denom, 0.0)
+    s[own == 1] = 0.0  # singleton convention
+    return s
+
+
+def silhouette_score(
+    x: np.ndarray, labels: np.ndarray, *, precomputed: bool = False
+) -> float:
+    """Mean silhouette over all samples, in ``[-1, 1]``.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> x = np.vstack([np.zeros((5, 2)), np.ones((5, 2)) * 10])
+    >>> labels = np.repeat([0, 1], 5)
+    >>> silhouette_score(x, labels) > 0.9
+    True
+    """
+    return float(np.mean(silhouette_samples(x, labels, precomputed=precomputed)))

@@ -1,0 +1,62 @@
+"""Homogeneity, completeness, and V-measure (Rosenberg & Hirschberg, 2007).
+
+Entropy-based diagnostics that decompose NMI-style agreement into two
+directional conditions:
+
+* **homogeneity** — each cluster contains members of a single class:
+  ``h = 1 - H(C|K) / H(C)``;
+* **completeness** — all members of a class land in the same cluster:
+  ``c = 1 - H(K|C) / H(K)``;
+* **V-measure** — their harmonic mean (equals NMI with arithmetic
+  normalization).
+
+Useful for diagnosing *how* a clustering fails: over-splitting hurts
+completeness, over-merging hurts homogeneity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.confusion import contingency_matrix
+from repro.metrics.nmi import entropy
+
+
+def _rows_given_cols_entropy(joint: np.ndarray) -> float:
+    """Conditional entropy ``H(rows | cols)`` of a count matrix, in nats."""
+    n = joint.sum()
+    p_joint = joint / n
+    col_marginal = p_joint.sum(axis=0, keepdims=True)
+    nz = p_joint > 0
+    ratio = np.zeros_like(p_joint)
+    denom = np.broadcast_to(col_marginal, p_joint.shape)
+    ratio[nz] = p_joint[nz] / denom[nz]
+    return float(-np.sum(p_joint[nz] * np.log(ratio[nz])))
+
+
+def homogeneity_score(labels_true, labels_pred) -> float:
+    """1 iff every cluster contains only members of one class."""
+    c = contingency_matrix(labels_true, labels_pred).astype(np.float64)
+    h_true = entropy(np.asarray(labels_true))
+    if h_true == 0.0:
+        return 1.0
+    h_true_given_pred = _rows_given_cols_entropy(c)
+    return float(np.clip(1.0 - h_true_given_pred / h_true, 0.0, 1.0))
+
+
+def completeness_score(labels_true, labels_pred) -> float:
+    """1 iff every class lands entirely inside one cluster."""
+    return homogeneity_score(labels_pred, labels_true)
+
+
+def v_measure_score(labels_true, labels_pred, *, beta: float = 1.0) -> float:
+    """Weighted harmonic mean of homogeneity and completeness.
+
+    ``beta > 1`` weights completeness more, ``beta < 1`` homogeneity more.
+    """
+    h = homogeneity_score(labels_true, labels_pred)
+    c = completeness_score(labels_true, labels_pred)
+    denom = beta * h + c
+    if denom == 0.0:
+        return 0.0
+    return float((1.0 + beta) * h * c / denom)

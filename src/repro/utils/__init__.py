@@ -1,0 +1,20 @@
+"""Shared utilities: randomness handling and input validation."""
+
+from repro.utils.rng import check_random_state, spawn_seeds
+from repro.utils.validation import (
+    check_labels,
+    check_matrix,
+    check_square,
+    check_symmetric,
+    check_views,
+)
+
+__all__ = [
+    "check_random_state",
+    "spawn_seeds",
+    "check_labels",
+    "check_matrix",
+    "check_square",
+    "check_symmetric",
+    "check_views",
+]

@@ -1,0 +1,67 @@
+"""Random-number-generator plumbing.
+
+Every stochastic entry point in the library accepts a ``random_state``
+argument that may be ``None``, an integer seed, or a fully constructed
+:class:`numpy.random.Generator`.  :func:`check_random_state` normalizes all
+three into a ``Generator`` so downstream code never branches on the type.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+RandomStateLike = "int | np.random.Generator | np.random.SeedSequence | None"
+
+
+def check_random_state(random_state=None) -> np.random.Generator:
+    """Normalize ``random_state`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    random_state : int, Generator, SeedSequence, or None
+        ``None`` produces a freshly seeded generator; an integer produces a
+        deterministic generator; an existing ``Generator`` is returned as-is
+        (not copied, so the caller shares its stream).
+
+    Returns
+    -------
+    numpy.random.Generator
+    """
+    if random_state is None:
+        return np.random.default_rng()
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    if isinstance(random_state, (int, np.integer)):
+        return np.random.default_rng(int(random_state))
+    if isinstance(random_state, np.random.SeedSequence):
+        return np.random.default_rng(random_state)
+    raise ValidationError(
+        f"random_state must be None, an int, a SeedSequence, or a Generator; "
+        f"got {type(random_state).__name__}"
+    )
+
+
+def spawn_seeds(random_state, n: int) -> list[int]:
+    """Derive ``n`` independent integer seeds from one random state.
+
+    Used by the evaluation harness to give each repetition of an experiment
+    its own reproducible stream.
+
+    Parameters
+    ----------
+    random_state : int, Generator, SeedSequence, or None
+        Master state to derive from.
+    n : int
+        Number of seeds to produce; must be positive.
+
+    Returns
+    -------
+    list of int
+        ``n`` seeds in ``[0, 2**31)``.
+    """
+    if n <= 0:
+        raise ValidationError(f"number of seeds must be positive, got {n}")
+    rng = check_random_state(random_state)
+    return [int(s) for s in rng.integers(0, 2**31, size=n)]

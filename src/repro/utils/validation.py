@@ -1,0 +1,147 @@
+"""Input validation helpers shared across the library.
+
+These functions convert inputs to float64 ndarrays, check shapes and
+finiteness, and raise :class:`~repro.exceptions.ValidationError` with a
+message naming the offending argument, so failures surface at API boundaries
+instead of deep inside linear algebra.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def check_matrix(
+    x,
+    name: str = "X",
+    *,
+    min_rows: int = 1,
+    min_cols: int = 1,
+    allow_nonfinite: bool = False,
+) -> np.ndarray:
+    """Validate and convert a 2-D numeric array.
+
+    Parameters
+    ----------
+    x : array-like
+        Input to validate.
+    name : str
+        Argument name used in error messages.
+    min_rows, min_cols : int
+        Minimum acceptable dimensions.
+    allow_nonfinite : bool
+        If False (default), NaN/Inf entries raise.
+
+    Returns
+    -------
+    numpy.ndarray
+        A float64 C-contiguous copy-if-needed view of ``x``.
+    """
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValidationError(f"{name} must be 2-D, got ndim={arr.ndim}")
+    rows, cols = arr.shape
+    if rows < min_rows or cols < min_cols:
+        raise ValidationError(
+            f"{name} must be at least {min_rows}x{min_cols}, got {rows}x{cols}"
+        )
+    if not allow_nonfinite and not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains NaN or Inf entries")
+    return arr
+
+
+def check_square(x, name: str = "A") -> np.ndarray:
+    """Validate a square 2-D matrix (see :func:`check_matrix`)."""
+    arr = check_matrix(x, name)
+    if arr.shape[0] != arr.shape[1]:
+        raise ValidationError(
+            f"{name} must be square, got shape {arr.shape[0]}x{arr.shape[1]}"
+        )
+    return arr
+
+
+def check_symmetric(x, name: str = "A", *, tol: float = 1e-8) -> np.ndarray:
+    """Validate a symmetric matrix and return its symmetrized copy.
+
+    Asymmetry up to ``tol`` (absolute, elementwise) is silently repaired by
+    averaging with the transpose; larger asymmetry raises.
+    """
+    arr = check_square(x, name)
+    gap = np.max(np.abs(arr - arr.T)) if arr.size else 0.0
+    if gap > tol:
+        raise ValidationError(
+            f"{name} must be symmetric (max |A - A.T| = {gap:.3g} > tol={tol:.3g})"
+        )
+    return (arr + arr.T) / 2.0
+
+
+def check_labels(y, name: str = "labels", *, n: int | None = None) -> np.ndarray:
+    """Validate an integer label vector.
+
+    Parameters
+    ----------
+    y : array-like
+        1-D array of integer labels (any integer values; not required to be
+        contiguous or zero-based).
+    name : str
+        Argument name used in error messages.
+    n : int, optional
+        Required length.
+
+    Returns
+    -------
+    numpy.ndarray of int64
+    """
+    arr = np.asarray(y)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be 1-D, got ndim={arr.ndim}")
+    if arr.size == 0:
+        raise ValidationError(f"{name} must be non-empty")
+    if n is not None and arr.size != n:
+        raise ValidationError(f"{name} must have length {n}, got {arr.size}")
+    if not np.issubdtype(arr.dtype, np.integer):
+        as_float = np.asarray(arr, dtype=np.float64)
+        if not np.all(np.isfinite(as_float)) or np.any(as_float != np.round(as_float)):
+            raise ValidationError(f"{name} must contain integers")
+        arr = as_float
+    return arr.astype(np.int64)
+
+
+def check_views(views, name: str = "views", *, min_views: int = 1) -> list[np.ndarray]:
+    """Validate a multi-view feature collection.
+
+    Parameters
+    ----------
+    views : sequence of array-like
+        One ``(n, d_v)`` feature matrix per view; all must share ``n``.
+    name : str
+        Argument name used in error messages.
+    min_views : int
+        Minimum number of views.
+
+    Returns
+    -------
+    list of numpy.ndarray
+        Validated float64 matrices.
+    """
+    if isinstance(views, np.ndarray) and views.ndim == 2:
+        views = [views]
+    try:
+        seq = list(views)
+    except TypeError as exc:
+        raise ValidationError(f"{name} must be a sequence of 2-D arrays") from exc
+    if len(seq) < min_views:
+        raise ValidationError(
+            f"{name} must contain at least {min_views} view(s), got {len(seq)}"
+        )
+    mats = [check_matrix(v, f"{name}[{i}]") for i, v in enumerate(seq)]
+    n = mats[0].shape[0]
+    for i, m in enumerate(mats):
+        if m.shape[0] != n:
+            raise ValidationError(
+                f"all views must have the same number of rows; "
+                f"{name}[0] has {n} but {name}[{i}] has {m.shape[0]}"
+            )
+    return mats

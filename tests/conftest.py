@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.synth import make_multiview_blobs
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for test-local randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small, well-separated 3-cluster multi-view dataset (fast, easy)."""
+    return make_multiview_blobs(
+        90,
+        3,
+        view_dims=(12, 18),
+        view_noise=(0.1, 0.2),
+        view_distractors=(0.0, 0.0),
+        view_outliers=(0.0, 0.0),
+        separation=6.0,
+        random_state=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def medium_dataset():
+    """A harder 4-cluster dataset with heterogeneous views."""
+    return make_multiview_blobs(
+        160,
+        4,
+        view_dims=(20, 30, 15),
+        view_noise=(0.2, 0.4, 0.6),
+        separation=4.5,
+        random_state=11,
+    )
+
+
+@pytest.fixture(scope="session")
+def affinity_pair(small_dataset):
+    """Per-view affinities of the small dataset (precomputed once)."""
+    from repro.core.graph_builder import build_multiview_affinities
+
+    return build_multiview_affinities(small_dataset.views, n_neighbors=8)

@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--dataset", "yale"])
+        assert args.method == "UMSC"
+        assert args.seed == 0
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--dataset", "imagenet"])
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--dataset", "yale", "--method", "Magic"]
+            )
+
+
+class TestCommands:
+    def test_datasets_lists_all(self):
+        out = io.StringIO()
+        assert main(["datasets"], out=out) == 0
+        text = out.getvalue()
+        for name in ("three_sources", "handwritten", "yale"):
+            assert name in text
+
+    def test_run_prints_metrics(self):
+        out = io.StringIO()
+        code = main(
+            ["run", "--dataset", "yale", "--method", "KernelAddSC"], out=out
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "acc" in text and "nmi" in text and "purity" in text
+
+    def test_table_small(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "table",
+                "--datasets",
+                "yale",
+                "--methods",
+                "SC_best,KernelAddSC",
+                "--runs",
+                "1",
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "SC_best" in text and "KernelAddSC" in text
+
+    def test_convergence_prints_trace(self):
+        out = io.StringIO()
+        code = main(
+            ["convergence", "--dataset", "yale", "--max-iter", "5"], out=out
+        )
+        assert code == 0
+        assert "iter" in out.getvalue()
+
+
+class TestStabilityCommand:
+    def test_stability_prints_scores(self):
+        out = io.StringIO()
+        code = main(["stability", "--dataset", "yale", "--runs", "2"], out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "one-stage" in text and "two-stage" in text

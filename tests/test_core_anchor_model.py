@@ -1,0 +1,78 @@
+"""Tests for repro.core.anchor_model (scalable UMSC variant)."""
+
+import numpy as np
+import pytest
+
+from repro.core.anchor_model import AnchorMVSC
+from repro.datasets import make_multiview_blobs
+from repro.exceptions import ValidationError
+from repro.metrics import clustering_accuracy
+
+
+@pytest.fixture(scope="module")
+def easy_big():
+    return make_multiview_blobs(
+        500,
+        4,
+        view_dims=(12, 16),
+        view_noise=(0.1, 0.2),
+        view_distractors=(0.0, 0.0),
+        view_outliers=(0.0, 0.0),
+        confusion_schedule=[[], []],
+        separation=7.0,
+        random_state=3,
+    )
+
+
+class TestAnchorMVSC:
+    def test_recovers_easy_clusters(self, easy_big):
+        labels = AnchorMVSC(4, random_state=0).fit_predict(easy_big.views)
+        assert clustering_accuracy(easy_big.labels, labels) > 0.9
+
+    def test_no_empty_clusters(self, easy_big):
+        labels = AnchorMVSC(4, random_state=1).fit_predict(easy_big.views)
+        assert np.all(np.bincount(labels, minlength=4) >= 1)
+
+    def test_deterministic(self, easy_big):
+        a = AnchorMVSC(4, random_state=7).fit_predict(easy_big.views)
+        b = AnchorMVSC(4, random_state=7).fit_predict(easy_big.views)
+        np.testing.assert_array_equal(a, b)
+
+    def test_explicit_anchor_count(self, easy_big):
+        labels = AnchorMVSC(
+            4, n_anchors=40, random_state=0
+        ).fit_predict(easy_big.views)
+        assert clustering_accuracy(easy_big.labels, labels) > 0.85
+
+    def test_weighting_modes(self, easy_big):
+        for mode in ("exponential", "parameter_free", "uniform"):
+            labels = AnchorMVSC(
+                4, weighting=mode, random_state=0
+            ).fit_predict(easy_big.views)
+            assert clustering_accuracy(easy_big.labels, labels) > 0.85
+
+    def test_validation(self, easy_big):
+        with pytest.raises(ValidationError):
+            AnchorMVSC(0)
+        with pytest.raises(ValidationError):
+            AnchorMVSC(2, n_anchors=-1)
+        with pytest.raises(ValidationError):
+            AnchorMVSC(2, weighting="vibes")
+        with pytest.raises(ValidationError, match="exceeds"):
+            AnchorMVSC(10_000).fit_predict(easy_big.views)
+
+    def test_faster_than_dense_at_scale(self):
+        import time
+
+        from repro.core import UnifiedMVSC
+
+        ds = make_multiview_blobs(
+            900, 4, view_dims=(15, 15), separation=6.0, random_state=4
+        )
+        start = time.perf_counter()
+        AnchorMVSC(4, random_state=0).fit_predict(ds.views)
+        anchor_time = time.perf_counter() - start
+        start = time.perf_counter()
+        UnifiedMVSC(4, random_state=0).fit(ds.views)
+        dense_time = time.perf_counter() - start
+        assert anchor_time < dense_time

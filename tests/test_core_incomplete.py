@@ -1,0 +1,108 @@
+"""Tests for repro.core.incomplete (incomplete multi-view clustering)."""
+
+import numpy as np
+import pytest
+
+from repro.core.incomplete import IncompleteMVSC, fuse_incomplete_affinities
+from repro.datasets import make_multiview_blobs
+from repro.exceptions import ValidationError
+from repro.metrics import clustering_accuracy
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_multiview_blobs(
+        120,
+        3,
+        view_dims=(12, 15),
+        view_noise=(0.15, 0.3),
+        view_distractors=(0.0, 0.0),
+        view_outliers=(0.0, 0.0),
+        separation=6.0,
+        random_state=9,
+    )
+
+
+def _random_masks(n, n_views, drop, seed):
+    rng = np.random.default_rng(seed)
+    masks = []
+    for _ in range(n_views):
+        mask = rng.random(n) >= drop
+        masks.append(mask)
+    # Guarantee full coverage: force uncovered samples into view 0.
+    coverage = np.zeros(n, dtype=int)
+    for m in masks:
+        coverage += m
+    masks[0] = masks[0] | (coverage == 0)
+    return masks
+
+
+class TestFuseIncompleteAffinities:
+    def test_full_masks_behave_like_average(self, dataset):
+        masks = [np.ones(120, dtype=bool)] * 2
+        fused = fuse_incomplete_affinities(dataset.views, masks)
+        assert fused.shape == (120, 120)
+        np.testing.assert_allclose(fused, fused.T, atol=1e-12)
+        assert np.all(fused >= 0)
+
+    def test_pair_unobserved_anywhere_is_zero(self, dataset):
+        masks = [np.ones(120, dtype=bool), np.ones(120, dtype=bool)]
+        masks[0][0] = False
+        masks[1][0] = False  # would break coverage...
+        with pytest.raises(ValidationError, match="no view"):
+            fuse_incomplete_affinities(dataset.views, masks)
+
+    def test_partial_pair_normalization(self, dataset):
+        # A sample observed only in view 0 still gets edges (from view 0),
+        # normalized by a count of 1 rather than 2.
+        masks = [np.ones(120, dtype=bool), np.ones(120, dtype=bool)]
+        masks[1][:5] = False
+        fused = fuse_incomplete_affinities(dataset.views, masks)
+        assert np.any(fused[0] > 0)
+
+    def test_mask_validation(self, dataset):
+        with pytest.raises(ValidationError, match="one mask per view"):
+            fuse_incomplete_affinities(dataset.views, [np.ones(120, dtype=bool)])
+        with pytest.raises(ValidationError, match="shape"):
+            fuse_incomplete_affinities(
+                dataset.views,
+                [np.ones(100, dtype=bool), np.ones(120, dtype=bool)],
+            )
+        with pytest.raises(ValidationError, match="boolean"):
+            fuse_incomplete_affinities(
+                dataset.views,
+                [np.full(120, 0.5), np.ones(120, dtype=bool)],
+            )
+        with pytest.raises(ValidationError, match="fewer than 2"):
+            masks = [np.zeros(120, dtype=bool), np.ones(120, dtype=bool)]
+            masks[0][0] = True
+            fuse_incomplete_affinities(dataset.views, masks)
+
+
+class TestIncompleteMVSC:
+    def test_complete_masks_match_quality(self, dataset):
+        masks = [np.ones(120, dtype=bool)] * 2
+        labels = IncompleteMVSC(3, random_state=0).fit_predict(
+            dataset.views, masks
+        )
+        assert clustering_accuracy(dataset.labels, labels) > 0.9
+
+    @pytest.mark.parametrize("drop", [0.2, 0.4])
+    def test_robust_to_missing_views(self, dataset, drop):
+        masks = _random_masks(120, 2, drop, seed=3)
+        labels = IncompleteMVSC(3, random_state=0).fit_predict(
+            dataset.views, masks
+        )
+        assert clustering_accuracy(dataset.labels, labels) > 0.8
+
+    def test_result_structure(self, dataset):
+        masks = _random_masks(120, 2, 0.3, seed=4)
+        result = IncompleteMVSC(3, random_state=0).fit(dataset.views, masks)
+        assert result.labels.shape == (120,)
+        assert np.all(np.bincount(result.labels, minlength=3) >= 1)
+
+    def test_deterministic(self, dataset):
+        masks = _random_masks(120, 2, 0.25, seed=5)
+        a = IncompleteMVSC(3, random_state=2).fit_predict(dataset.views, masks)
+        b = IncompleteMVSC(3, random_state=2).fit_predict(dataset.views, masks)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,93 @@
+"""Tests for repro.core.out_of_sample (label propagation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import UnifiedMVSC
+from repro.core.out_of_sample import propagate_labels
+from repro.datasets import make_multiview_blobs
+from repro.exceptions import ValidationError
+from repro.metrics import clustering_accuracy
+
+
+def _split(ds, train_fraction=0.8, seed=0):
+    rng = np.random.default_rng(seed)
+    n = ds.n_samples
+    perm = rng.permutation(n)
+    cut = int(train_fraction * n)
+    train_idx, new_idx = perm[:cut], perm[cut:]
+    train_views = [v[train_idx] for v in ds.views]
+    new_views = [v[new_idx] for v in ds.views]
+    return train_views, ds.labels[train_idx], new_views, ds.labels[new_idx]
+
+
+class TestPropagateLabels:
+    def test_simple_two_blobs(self):
+        train = [np.vstack([np.zeros((5, 2)), np.ones((5, 2)) * 9])]
+        labels = np.repeat([0, 1], 5)
+        new = [np.array([[0.2, -0.1], [9.3, 8.8]])]
+        out = propagate_labels(train, labels, new)
+        np.testing.assert_array_equal(out, [0, 1])
+
+    def test_end_to_end_with_umsc(self):
+        ds = make_multiview_blobs(
+            200,
+            3,
+            view_dims=(10, 14),
+            view_noise=(0.15, 0.3),
+            separation=6.0,
+            random_state=5,
+        )
+        train_views, _, new_views, new_truth = _split(ds)
+        result = UnifiedMVSC(3, random_state=0).fit(train_views)
+        predicted = propagate_labels(
+            train_views,
+            result.labels,
+            new_views,
+            view_weights=result.view_weights,
+        )
+        # Map cluster ids to truth via the train assignment quality:
+        # accuracy on held-out points should be far above chance.
+        assert clustering_accuracy(new_truth, predicted) > 0.8
+
+    def test_weights_emphasize_informative_view(self):
+        rng = np.random.default_rng(1)
+        informative = np.vstack([np.zeros((10, 2)), np.ones((10, 2)) * 9])
+        garbage = rng.normal(size=(20, 2)) * 100
+        labels = np.repeat([0, 1], 10)
+        new_inf = np.array([[0.1, 0.0], [9.0, 9.1]])
+        new_garbage = rng.normal(size=(2, 2)) * 100
+        # All weight on the informative view -> correct assignment.
+        out = propagate_labels(
+            [informative, garbage],
+            labels,
+            [new_inf, new_garbage],
+            view_weights=[1.0, 0.0],
+        )
+        np.testing.assert_array_equal(out, [0, 1])
+
+    def test_validation(self):
+        train = [np.zeros((4, 2))]
+        labels = [0, 0, 1, 1]
+        with pytest.raises(ValidationError, match="views"):
+            propagate_labels(train, labels, [np.zeros((2, 2)), np.zeros((2, 2))])
+        with pytest.raises(ValidationError, match="dim"):
+            propagate_labels(train, labels, [np.zeros((2, 3))])
+        with pytest.raises(ValidationError, match="view_weights"):
+            propagate_labels(
+                train, labels, [np.zeros((2, 2))], view_weights=[1.0, 1.0]
+            )
+        with pytest.raises(ValidationError, match="n_clusters"):
+            propagate_labels(
+                train, labels, [np.zeros((2, 2))], n_clusters=1
+            )
+
+    def test_all_new_points_get_valid_labels(self):
+        rng = np.random.default_rng(2)
+        train = [rng.normal(size=(30, 4))]
+        labels = rng.integers(0, 3, size=30)
+        labels[:3] = [0, 1, 2]
+        new = [rng.normal(size=(7, 4))]
+        out = propagate_labels(train, labels, new, n_clusters=3)
+        assert out.shape == (7,)
+        assert set(out.tolist()) <= {0, 1, 2}

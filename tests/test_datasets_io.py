@@ -1,0 +1,55 @@
+"""Tests for repro.datasets.io (npz round trip)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.io import load_dataset, save_dataset
+from repro.datasets.synth import make_multiview_blobs
+from repro.exceptions import DatasetError
+
+
+class TestRoundTrip:
+    def test_save_load_identical(self, tmp_path):
+        ds = make_multiview_blobs(40, 3, view_dims=(5, 8), random_state=0)
+        path = str(tmp_path / "toy.npz")
+        save_dataset(ds, path)
+        loaded = load_dataset(path)
+        assert loaded.name == ds.name
+        assert loaded.view_names == ds.view_names
+        assert loaded.description == ds.description
+        np.testing.assert_array_equal(loaded.labels, ds.labels)
+        for a, b in zip(loaded.views, ds.views):
+            np.testing.assert_allclose(a, b)
+
+    def test_extension_added(self, tmp_path):
+        ds = make_multiview_blobs(20, 2, view_dims=(4,), random_state=1)
+        base = str(tmp_path / "noext")
+        save_dataset(ds, base)
+        loaded = load_dataset(base)  # resolves noext.npz
+        assert loaded.n_samples == 20
+
+    def test_view_order_preserved_beyond_ten(self, tmp_path):
+        # view_10 must not sort before view_2 (numeric, not lexicographic).
+        ds = make_multiview_blobs(
+            15, 2, view_dims=tuple(3 + i for i in range(12)), random_state=2
+        )
+        path = str(tmp_path / "many.npz")
+        save_dataset(ds, path)
+        loaded = load_dataset(path)
+        assert loaded.view_dims == ds.view_dims
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError, match="not found"):
+            load_dataset(str(tmp_path / "absent.npz"))
+
+    def test_malformed_archive(self, tmp_path):
+        path = str(tmp_path / "bad.npz")
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(DatasetError, match="labels"):
+            load_dataset(path)
+
+    def test_archive_without_views(self, tmp_path):
+        path = str(tmp_path / "noviews.npz")
+        np.savez(path, labels=np.array([0, 1]))
+        with pytest.raises(DatasetError, match="views"):
+            load_dataset(path)

@@ -1,0 +1,33 @@
+"""Run the docstring examples as tests.
+
+Every ``Examples`` block in a public docstring must actually work; this
+keeps the documentation honest.
+"""
+
+import doctest
+import importlib
+
+import pytest
+
+MODULE_NAMES = [
+    "repro",
+    "repro.cluster.kmeans",
+    "repro.core.anchor_model",
+    "repro.core.model",
+    "repro.datasets.container",
+    "repro.metrics.accuracy",
+    "repro.metrics.hungarian",
+    "repro.metrics.purity",
+    "repro.metrics.silhouette",
+    "repro.core.incomplete",
+    "repro.core.out_of_sample",
+    "repro.evaluation.ascii_plots",
+]
+
+
+@pytest.mark.parametrize("name", MODULE_NAMES)
+def test_docstring_examples(name):
+    module = importlib.import_module(name)
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{name} has no doctests"
+    assert result.failed == 0, f"{name} doctest failures"

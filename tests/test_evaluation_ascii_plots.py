@@ -1,0 +1,81 @@
+"""Tests for repro.evaluation.ascii_plots."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.ascii_plots import bar_chart, heatmap, line_plot
+from repro.exceptions import ValidationError
+
+
+class TestBarChart:
+    def test_doc_example(self):
+        text = bar_chart({"a": 1.0, "b": 0.5}, width=4)
+        lines = text.splitlines()
+        assert lines[0].endswith("████")
+        assert lines[1].endswith("██")
+
+    def test_zero_values(self):
+        text = bar_chart({"x": 0.0, "y": 0.0})
+        assert "0.000" in text
+
+    def test_longest_bar_is_max(self):
+        text = bar_chart({"small": 0.2, "big": 0.9}, width=10)
+        small_line, big_line = text.splitlines()
+        assert big_line.count("█") == 10
+        assert small_line.count("█") < 10
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            bar_chart({})
+        with pytest.raises(ValidationError):
+            bar_chart({"a": -1.0})
+
+
+class TestHeatmap:
+    def test_shape_and_labels(self):
+        grid = np.array([[0.1, 0.9], [0.5, 0.3]])
+        text = heatmap(grid, row_labels=["r0", "r1"], col_labels=["c0", "c1"])
+        lines = text.splitlines()
+        assert len(lines) == 3  # header + 2 rows
+        assert "c0" in lines[0] and "c1" in lines[0]
+        assert lines[1].startswith("r0")
+
+    def test_max_gets_darkest_shade(self):
+        grid = np.array([[0.0, 1.0]])
+        text = heatmap(grid)
+        assert "█" in text
+
+    def test_constant_grid(self):
+        text = heatmap(np.full((2, 2), 3.0))
+        assert text.count("█") == 4
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            heatmap(np.zeros((0, 2)))
+        with pytest.raises(ValidationError):
+            heatmap(np.zeros((2, 2)), row_labels=["only-one"])
+
+
+class TestLinePlot:
+    def test_height_rows(self):
+        text = line_plot([3.0, 2.0, 1.0], height=5)
+        lines = text.splitlines()
+        assert len(lines) == 6  # 5 rows + axis
+        assert set(lines[-1]) == {"─"}
+
+    def test_monotone_series_shape(self):
+        text = line_plot([5.0, 4.0, 3.0, 2.0, 1.0], height=5)
+        top_row = text.splitlines()[0]
+        # Only the first (largest) point reaches the top band.
+        assert top_row[0] == "█"
+        assert top_row[-1] == " "
+
+    def test_downsampling(self):
+        text = line_plot(list(range(100)), height=3, width=10)
+        assert len(text.splitlines()[0]) <= 34
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            line_plot([])
+        with pytest.raises(ValidationError):
+            line_plot([1.0], height=0)

@@ -1,0 +1,39 @@
+"""Tests for repro.evaluation.model_selection (label-free tuning)."""
+
+import pytest
+
+from repro.evaluation.model_selection import (
+    DEFAULT_UNSUPERVISED_GRID,
+    select_umsc_unsupervised,
+)
+from repro.exceptions import ValidationError
+from repro.metrics import clustering_accuracy
+
+
+class TestSelectUMSCUnsupervised:
+    def test_selects_reasonable_config(self, small_dataset):
+        result = select_umsc_unsupervised(
+            small_dataset.views,
+            3,
+            grid={"consensus": [0.0, 1.0], "n_neighbors": [8]},
+        )
+        assert result.best_silhouette > 0.0
+        assert len(result.points) == 2
+        model = result.build(3, random_state=0)
+        fitted = model.fit(small_dataset.views)
+        assert clustering_accuracy(small_dataset.labels, fitted.labels) > 0.9
+
+    def test_best_is_argmax(self, small_dataset):
+        result = select_umsc_unsupervised(
+            small_dataset.views, 3, grid={"n_neighbors": [6, 12]}
+        )
+        assert result.best_silhouette == max(
+            p.silhouette for p in result.points
+        )
+
+    def test_default_grid_nonempty(self):
+        assert DEFAULT_UNSUPERVISED_GRID
+
+    def test_empty_grid_rejected(self, small_dataset):
+        with pytest.raises(ValidationError):
+            select_umsc_unsupervised(small_dataset.views, 3, grid={})

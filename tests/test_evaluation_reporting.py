@@ -1,0 +1,53 @@
+"""Tests for repro.evaluation.reporting."""
+
+import pytest
+
+from repro.evaluation.reporting import render_metric_section, render_report
+from repro.evaluation.runner import run_experiment
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture(scope="module")
+def small_results(request):
+    from repro.datasets.synth import make_multiview_blobs
+
+    ds = make_multiview_blobs(
+        90, 3, view_dims=(12, 18), view_noise=(0.1, 0.2),
+        view_distractors=(0.0, 0.0), view_outliers=(0.0, 0.0),
+        separation=6.0, random_state=7,
+    )
+    return {
+        ds.name: run_experiment(
+            ds, methods=["KernelAddSC", "ConcatSC"], n_runs=2
+        )
+    }
+
+
+class TestRenderMetricSection:
+    def test_contains_table_and_ranks(self, small_results):
+        text = render_metric_section(small_results, "acc")
+        assert "```" in text
+        assert "Average rank" in text
+        assert "KernelAddSC" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            render_metric_section({}, "acc")
+
+
+class TestRenderReport:
+    def test_full_report_structure(self, small_results):
+        report = render_report(small_results, title="Test report")
+        assert report.startswith("## Test report")
+        for metric in ("ACC", "NMI", "PURITY"):
+            assert f"### {metric}" in report
+        assert "wall-clock" in report
+        assert "2 seeds" in report
+
+    def test_without_timing(self, small_results):
+        report = render_report(small_results, include_timing=False)
+        assert "wall-clock" not in report
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            render_report({})

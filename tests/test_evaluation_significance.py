@@ -1,0 +1,129 @@
+"""Tests for repro.evaluation.significance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.significance import (
+    compare_methods,
+    paired_t_test,
+    sign_test,
+)
+from repro.exceptions import ValidationError
+
+
+class TestPairedTTest:
+    def test_identical_samples_not_significant(self):
+        a = [0.8, 0.7, 0.9, 0.85]
+        result = paired_t_test(a, a)
+        assert result.p_value == 1.0
+        assert not result.significant()
+
+    def test_clear_difference_significant(self):
+        rng = np.random.default_rng(0)
+        b = rng.normal(0.5, 0.01, size=20)
+        a = b + 0.2
+        result = paired_t_test(a, b)
+        assert result.significant(0.001)
+        assert result.mean_difference == pytest.approx(0.2, abs=1e-9)
+
+    def test_constant_nonzero_difference(self):
+        # Exactly representable values so the differences are identical.
+        a = [1.0, 0.75, 0.5]
+        b = [0.75, 0.5, 0.25]
+        result = paired_t_test(a, b)
+        assert result.p_value == 0.0
+        assert result.significant()
+
+    def test_matches_scipy(self):
+        import scipy.stats
+
+        rng = np.random.default_rng(1)
+        a = rng.normal(0.6, 0.1, size=15)
+        b = rng.normal(0.55, 0.1, size=15)
+        mine = paired_t_test(a, b)
+        ref = scipy.stats.ttest_rel(a, b)
+        assert mine.statistic == pytest.approx(ref.statistic, rel=1e-9)
+        assert mine.p_value == pytest.approx(ref.pvalue, rel=1e-7)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=10)
+        b = rng.normal(size=10)
+        ab = paired_t_test(a, b)
+        ba = paired_t_test(b, a)
+        assert ab.p_value == pytest.approx(ba.p_value, abs=1e-12)
+        assert ab.statistic == pytest.approx(-ba.statistic, abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            paired_t_test([1.0], [1.0])
+        with pytest.raises(ValidationError):
+            paired_t_test([1.0, 2.0], [1.0])
+        with pytest.raises(ValidationError):
+            paired_t_test([np.nan, 1.0], [0.0, 1.0])
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.lists(st.floats(-1, 1), min_size=3, max_size=20), st.integers(0, 100))
+    def test_property_p_in_unit_interval(self, a, seed):
+        a = np.array(a)
+        b = a + np.random.default_rng(seed).normal(scale=0.1, size=a.size)
+        result = paired_t_test(a, b)
+        assert 0.0 <= result.p_value <= 1.0
+
+
+class TestSignTest:
+    def test_all_ties_uninformative(self):
+        result = sign_test([0.5, 0.5], [0.5, 0.5])
+        assert result.p_value == 1.0
+        assert result.n == 0
+
+    def test_one_sided_dominance(self):
+        a = np.linspace(0.8, 0.9, 12)
+        b = a - 0.05
+        result = sign_test(a, b)
+        assert result.statistic == 12
+        assert result.p_value == pytest.approx(2 * 0.5**12)
+        assert result.significant()
+
+    def test_balanced_not_significant(self):
+        a = [1.0, 0.0, 1.0, 0.0]
+        b = [0.0, 1.0, 0.0, 1.0]
+        result = sign_test(a, b)
+        assert result.p_value > 0.5
+
+    def test_matches_binomtest(self):
+        import scipy.stats
+
+        a = np.array([0.9, 0.8, 0.85, 0.7, 0.95, 0.6, 0.77])
+        b = np.array([0.85, 0.82, 0.8, 0.72, 0.9, 0.55, 0.7])
+        mine = sign_test(a, b)
+        positives = int(np.sum(a - b > 0))
+        ref = scipy.stats.binomtest(positives, n=7, p=0.5).pvalue
+        assert mine.p_value == pytest.approx(ref, rel=1e-9)
+
+
+class TestCompareMethods:
+    def test_over_runner_results(self, small_dataset):
+        from repro.evaluation.runner import run_experiment
+
+        results = run_experiment(
+            small_dataset, methods=["KernelAddSC", "ConcatSC"], n_runs=3
+        )
+        outcome = compare_methods(
+            results["KernelAddSC"], results["ConcatSC"], metric="acc"
+        )
+        assert 0.0 <= outcome.p_value <= 1.0
+        assert outcome.n == 3
+
+    def test_missing_metric(self, small_dataset):
+        from repro.evaluation.runner import run_experiment
+
+        results = run_experiment(
+            small_dataset, methods=["ConcatSC"], n_runs=2, metrics=("acc",)
+        )
+        with pytest.raises(ValidationError, match="missing"):
+            compare_methods(
+                results["ConcatSC"], results["ConcatSC"], metric="nmi"
+            )

@@ -1,0 +1,86 @@
+"""Tests for repro.evaluation.stability."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.stability import (
+    coassociation_matrix,
+    consensus_labels,
+    stability_score,
+)
+from repro.exceptions import ValidationError
+from repro.metrics import clustering_accuracy
+
+
+class TestCoassociation:
+    def test_identical_runs(self):
+        labels = np.array([0, 0, 1, 1])
+        co = coassociation_matrix([labels, labels, labels])
+        expected = (labels[:, None] == labels[None, :]).astype(float)
+        np.testing.assert_allclose(co, expected)
+
+    def test_relabeled_runs_equivalent(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([1, 1, 0, 0])  # same partition, different ids
+        co = coassociation_matrix([a, b])
+        np.testing.assert_allclose(co, coassociation_matrix([a, a]))
+
+    def test_disagreeing_runs_average(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 0, 1])
+        co = coassociation_matrix([a, b])
+        assert co[0, 1] == pytest.approx(0.5)
+        assert co[0, 2] == pytest.approx(0.5)
+
+    def test_diagonal_is_one(self):
+        rng = np.random.default_rng(0)
+        runs = [rng.integers(0, 3, size=20) for _ in range(5)]
+        co = coassociation_matrix(runs)
+        np.testing.assert_allclose(np.diag(co), 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError, match="at least 2"):
+            coassociation_matrix([np.array([0, 1])])
+        with pytest.raises(ValidationError, match="length"):
+            coassociation_matrix([np.array([0, 1]), np.array([0, 1, 2])])
+
+
+class TestConsensusLabels:
+    def test_recovers_structure_from_noisy_runs(self):
+        rng = np.random.default_rng(1)
+        truth = np.repeat([0, 1, 2], 20)
+        runs = []
+        for seed in range(8):
+            noisy = truth.copy()
+            flips = rng.choice(60, size=6, replace=False)
+            noisy[flips] = rng.integers(0, 3, size=6)
+            # random relabeling per run
+            perm = rng.permutation(3)
+            runs.append(perm[noisy])
+        consensus = consensus_labels(runs, 3, random_state=0)
+        assert clustering_accuracy(truth, consensus) > 0.9
+
+
+class TestStabilityScore:
+    def test_identical_runs_score_one(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        assert stability_score([labels, labels]) == 1.0
+
+    def test_relabeling_invariant(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([2, 2, 0, 0])
+        assert stability_score([a, b]) == 1.0
+
+    def test_random_runs_score_low(self):
+        rng = np.random.default_rng(2)
+        runs = [rng.integers(0, 3, size=100) for _ in range(6)]
+        assert abs(stability_score(runs)) < 0.15
+
+    def test_umsc_more_stable_than_random(self, small_dataset):
+        from repro.core import UnifiedMVSC
+
+        runs = [
+            UnifiedMVSC(3, random_state=seed).fit(small_dataset.views).labels
+            for seed in range(3)
+        ]
+        assert stability_score(runs) > 0.8

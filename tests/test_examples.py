@@ -1,0 +1,46 @@
+"""Smoke tests for the example scripts (the fast ones).
+
+Examples are documentation that must not rot; each is executed in-process
+through its ``main()`` with output captured.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "custom_dataset.py",
+    "document_clustering.py",
+]
+
+
+def _load_module(filename):
+    path = EXAMPLES_DIR / filename
+    spec = importlib.util.spec_from_file_location(
+        f"example_{path.stem}", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("filename", FAST_EXAMPLES)
+def test_example_runs(filename, capsys):
+    module = _load_module(filename)
+    module.main()
+    out = capsys.readouterr().out
+    assert len(out) > 50  # produced a real report
+
+
+def test_all_examples_have_main():
+    for path in sorted(EXAMPLES_DIR.glob("*.py")):
+        text = path.read_text()
+        assert "def main() -> None:" in text, path.name
+        assert '__name__ == "__main__"' in text, path.name
+        assert '"""' in text.split("\n")[0] or text.startswith('"""'), path.name

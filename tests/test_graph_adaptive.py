@@ -1,0 +1,104 @@
+"""Tests for repro.graph.adaptive (CAN graphs and simplex projection)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import ValidationError
+from repro.graph.adaptive import adaptive_neighbor_affinity, simplex_projection_rowwise
+
+
+class TestSimplexProjection:
+    def test_already_on_simplex(self):
+        v = np.array([[0.2, 0.3, 0.5]])
+        np.testing.assert_allclose(simplex_projection_rowwise(v), v, atol=1e-12)
+
+    def test_uniform_from_equal_values(self):
+        out = simplex_projection_rowwise(np.array([[5.0, 5.0, 5.0, 5.0]]))
+        np.testing.assert_allclose(out, 0.25)
+
+    def test_large_entry_dominates(self):
+        out = simplex_projection_rowwise(np.array([[100.0, 0.0, 0.0]]))
+        np.testing.assert_allclose(out, [[1.0, 0.0, 0.0]], atol=1e-12)
+
+    @settings(deadline=None, max_examples=50)
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 6), st.integers(1, 8)),
+            elements=st.floats(-20, 20, allow_nan=False),
+        )
+    )
+    def test_property_rows_on_simplex(self, v):
+        out = simplex_projection_rowwise(v)
+        assert np.all(out >= -1e-12)
+        np.testing.assert_allclose(out.sum(axis=1), 1.0, atol=1e-9)
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        arrays(np.float64, st.tuples(st.just(1), st.integers(2, 6)),
+               elements=st.floats(-5, 5, allow_nan=False)),
+    )
+    def test_property_is_euclidean_projection(self, v):
+        # The projection must be at least as close to v as any random
+        # simplex point.
+        out = simplex_projection_rowwise(v)[0]
+        rng = np.random.default_rng(0)
+        base = np.linalg.norm(out - v[0])
+        for _ in range(10):
+            p = rng.dirichlet(np.ones(v.shape[1]))
+            assert base <= np.linalg.norm(p - v[0]) + 1e-9
+
+
+class TestAdaptiveNeighborAffinity:
+    def test_from_features_valid(self):
+        rng = np.random.default_rng(0)
+        x = np.vstack([rng.normal(size=(15, 2)), rng.normal(size=(15, 2)) + 9])
+        s = adaptive_neighbor_affinity(x, k=6)
+        assert s.shape == (30, 30)
+        np.testing.assert_allclose(s, s.T, atol=1e-12)
+        assert np.all(s >= 0)
+        np.testing.assert_allclose(np.diag(s), 0.0, atol=1e-12)
+
+    def test_row_mass_before_symmetrization(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(20, 3))
+        s = adaptive_neighbor_affinity(x, k=5, symmetrize_output=False)
+        np.testing.assert_allclose(s.sum(axis=1), 1.0, atol=1e-8)
+
+    def test_sparsity(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(25, 2))
+        s = adaptive_neighbor_affinity(x, k=4, symmetrize_output=False)
+        assert np.all(np.count_nonzero(s, axis=1) <= 4)
+
+    def test_nearest_neighbor_weighted_most(self):
+        # Colinear points: the closest neighbor must get the largest mass.
+        x = np.array([[0.0], [1.0], [3.0], [6.0], [10.0]])
+        s = adaptive_neighbor_affinity(x, k=2, symmetrize_output=False)
+        assert s[0, 1] > s[0, 2] > 0
+        assert s[0, 3] == 0.0
+
+    def test_from_distances(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(12, 2))
+        from repro.graph.distance import pairwise_sq_euclidean
+
+        d = pairwise_sq_euclidean(x)
+        s1 = adaptive_neighbor_affinity(x, k=4)
+        s2 = adaptive_neighbor_affinity(distances=d, k=4)
+        np.testing.assert_allclose(s1, s2, atol=1e-10)
+
+    def test_exactly_one_input_required(self):
+        with pytest.raises(ValidationError, match="exactly one"):
+            adaptive_neighbor_affinity()
+        with pytest.raises(ValidationError, match="exactly one"):
+            adaptive_neighbor_affinity(np.zeros((4, 2)), distances=np.zeros((4, 4)))
+
+    def test_blob_separation(self):
+        rng = np.random.default_rng(4)
+        x = np.vstack([rng.normal(size=(20, 2)), rng.normal(size=(20, 2)) + 12])
+        s = adaptive_neighbor_affinity(x, k=5)
+        assert s[:20, 20:].sum() == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,134 @@
+"""Tests for repro.graph.anchor (anchor graphs)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.graph.anchor import (
+    anchor_affinity,
+    anchor_affinity_factor,
+    anchor_assignment,
+    anchor_spectral_embedding,
+    select_anchors,
+)
+
+
+def _blobs(n_per=50, sep=10.0, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.vstack(
+        [rng.normal(size=(n_per, 3)) + sep * i for i in range(3)]
+    )
+
+
+class TestSelectAnchors:
+    def test_kmeans_anchors_shape(self):
+        anchors = select_anchors(_blobs(), 12, random_state=0)
+        assert anchors.shape == (12, 3)
+
+    def test_random_anchors_are_data_points(self):
+        x = _blobs()
+        anchors = select_anchors(x, 8, method="random", random_state=1)
+        for a in anchors:
+            assert np.any(np.all(np.isclose(x, a), axis=1))
+
+    def test_kmeans_anchors_cover_blobs(self):
+        x = _blobs(sep=50.0)
+        anchors = select_anchors(x, 9, random_state=2)
+        # Every blob region contains at least one anchor.
+        for i in range(3):
+            center = np.full(3, 50.0 * i)
+            dists = np.linalg.norm(anchors - center, axis=1)
+            assert dists.min() < 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            select_anchors(_blobs(), 0)
+        with pytest.raises(ValidationError):
+            select_anchors(_blobs(), 10, method="psychic")
+
+
+class TestAnchorAssignment:
+    def test_rows_on_simplex(self):
+        x = _blobs()
+        anchors = select_anchors(x, 10, random_state=0)
+        z = anchor_assignment(x, anchors, k=4)
+        assert z.shape == (150, 10)
+        assert np.all(z >= 0)
+        np.testing.assert_allclose(z.sum(axis=1), 1.0, atol=1e-8)
+
+    def test_sparsity(self):
+        x = _blobs()
+        anchors = select_anchors(x, 15, random_state=1)
+        z = anchor_assignment(x, anchors, k=3)
+        assert np.all(np.count_nonzero(z, axis=1) <= 3)
+
+    def test_nearest_anchor_weighted_most(self):
+        x = np.array([[0.0, 0.0]])
+        anchors = np.array([[0.5, 0.0], [3.0, 0.0], [9.0, 0.0]])
+        z = anchor_assignment(x, anchors, k=2)
+        assert z[0, 0] > z[0, 1] > 0
+        assert z[0, 2] == 0.0
+
+    def test_k_equals_m(self):
+        x = _blobs(n_per=10)
+        anchors = select_anchors(x, 5, random_state=2)
+        z = anchor_assignment(x, anchors, k=5)
+        np.testing.assert_allclose(z.sum(axis=1), 1.0, atol=1e-8)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValidationError, match="feature dimension"):
+            anchor_assignment(np.zeros((4, 3)), np.zeros((2, 5)))
+
+
+class TestAnchorAffinity:
+    def _z(self, seed=0):
+        x = _blobs(seed=seed)
+        anchors = select_anchors(x, 12, random_state=seed)
+        return anchor_assignment(x, anchors, k=4)
+
+    def test_dense_affinity_properties(self):
+        w = anchor_affinity(self._z())
+        assert w.shape == (150, 150)
+        np.testing.assert_allclose(w, w.T, atol=1e-12)
+        assert np.all(w >= -1e-12)
+        np.testing.assert_allclose(np.diag(w), 0.0, atol=1e-12)
+
+    def test_factorization_consistent(self):
+        z = self._z(seed=1)
+        b = anchor_affinity_factor(z)
+        w_full = b @ b.T
+        np.fill_diagonal(w_full, 0.0)
+        np.testing.assert_allclose(anchor_affinity(z), w_full, atol=1e-12)
+
+    def test_blocks_separate(self):
+        x = _blobs(sep=40.0, seed=3)
+        anchors = select_anchors(x, 12, random_state=3)
+        z = anchor_assignment(x, anchors, k=3)
+        w = anchor_affinity(z)
+        assert w[:50, 100:].max() == pytest.approx(0.0, abs=1e-12)
+
+
+class TestAnchorSpectralEmbedding:
+    def test_orthonormal_columns(self):
+        x = _blobs(seed=4)
+        anchors = select_anchors(x, 15, random_state=4)
+        z = anchor_assignment(x, anchors, k=4)
+        emb = anchor_spectral_embedding(z, 3)
+        np.testing.assert_allclose(emb.T @ emb, np.eye(3), atol=1e-8)
+
+    def test_separates_blobs(self):
+        from repro.cluster.kmeans import KMeans
+        from repro.metrics import clustering_accuracy
+
+        x = _blobs(sep=20.0, seed=5)
+        anchors = select_anchors(x, 15, random_state=5)
+        z = anchor_assignment(x, anchors, k=4)
+        emb = anchor_spectral_embedding(z, 3)
+        labels = KMeans(3, random_state=0).fit_predict(emb)
+        truth = np.repeat(np.arange(3), 50)
+        assert clustering_accuracy(truth, labels) > 0.95
+
+    def test_n_components_validation(self):
+        z = np.full((10, 4), 0.25)
+        with pytest.raises(ValidationError):
+            anchor_spectral_embedding(z, 5)

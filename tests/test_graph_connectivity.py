@@ -1,0 +1,56 @@
+"""Tests for repro.graph.connectivity."""
+
+import numpy as np
+
+from repro.graph.connectivity import connected_components, is_connected
+
+
+def _block_graph(sizes):
+    """Disjoint cliques of the given sizes."""
+    n = sum(sizes)
+    w = np.zeros((n, n))
+    start = 0
+    for s in sizes:
+        w[start : start + s, start : start + s] = 1.0
+        start += s
+    np.fill_diagonal(w, 0.0)
+    return w
+
+
+class TestConnectedComponents:
+    def test_single_clique(self):
+        labels = connected_components(_block_graph([5]))
+        assert set(labels) == {0}
+
+    def test_three_components(self):
+        labels = connected_components(_block_graph([3, 4, 2]))
+        assert labels.max() + 1 == 3
+        np.testing.assert_array_equal(labels[:3], 0)
+        np.testing.assert_array_equal(labels[3:7], 1)
+        np.testing.assert_array_equal(labels[7:], 2)
+
+    def test_numbered_by_first_appearance(self):
+        labels = connected_components(_block_graph([1, 1, 1]))
+        np.testing.assert_array_equal(labels, [0, 1, 2])
+
+    def test_bridge_merges_components(self):
+        w = _block_graph([3, 3])
+        w[0, 5] = w[5, 0] = 0.5
+        assert is_connected(w)
+
+    def test_tolerance_threshold(self):
+        w = _block_graph([2, 2])
+        w[0, 2] = w[2, 0] = 1e-6
+        assert is_connected(w, tol=0.0)
+        assert not is_connected(w, tol=1e-3)
+
+    def test_isolated_vertices(self):
+        w = np.zeros((4, 4))
+        labels = connected_components(w)
+        assert labels.max() + 1 == 4
+
+    def test_directed_edges_treated_undirected(self):
+        w = np.zeros((3, 3))
+        w[0, 1] = 1.0  # asymmetric entry
+        labels = connected_components(w)
+        assert labels[0] == labels[1] != labels[2]

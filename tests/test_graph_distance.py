@@ -1,0 +1,73 @@
+"""Tests for repro.graph.distance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import ValidationError
+from repro.graph.distance import pairwise_cosine_distances, pairwise_sq_euclidean
+
+finite_matrix = arrays(
+    np.float64,
+    st.tuples(st.integers(2, 8), st.integers(1, 5)),
+    elements=st.floats(-50, 50, allow_nan=False),
+)
+
+
+class TestSqEuclidean:
+    def test_matches_bruteforce(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(7, 3))
+        d = pairwise_sq_euclidean(x)
+        brute = np.array(
+            [[np.sum((a - b) ** 2) for b in x] for a in x]
+        )
+        np.testing.assert_allclose(d, brute, atol=1e-10)
+
+    def test_cross_distances(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(4, 2))
+        y = rng.normal(size=(6, 2))
+        d = pairwise_sq_euclidean(x, y)
+        assert d.shape == (4, 6)
+        assert d[1, 2] == pytest.approx(np.sum((x[1] - y[2]) ** 2))
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValidationError, match="feature dimension"):
+            pairwise_sq_euclidean(np.zeros((3, 2)), np.zeros((3, 4)))
+
+    @settings(deadline=None, max_examples=30)
+    @given(finite_matrix)
+    def test_properties(self, x):
+        d = pairwise_sq_euclidean(x)
+        assert np.all(d >= 0)
+        np.testing.assert_allclose(d, d.T, atol=1e-8)
+        np.testing.assert_allclose(np.diag(d), 0.0, atol=1e-8)
+
+
+class TestCosine:
+    def test_identical_rows_zero(self):
+        x = np.array([[1.0, 2.0], [2.0, 4.0]])
+        d = pairwise_cosine_distances(x)
+        assert d[0, 1] == pytest.approx(0.0, abs=1e-10)
+
+    def test_opposite_rows_two(self):
+        x = np.array([[1.0, 0.0], [-1.0, 0.0]])
+        assert pairwise_cosine_distances(x)[0, 1] == pytest.approx(2.0)
+
+    def test_orthogonal_rows_one(self):
+        x = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert pairwise_cosine_distances(x)[0, 1] == pytest.approx(1.0)
+
+    def test_zero_row_maximally_distant(self):
+        x = np.array([[0.0, 0.0], [1.0, 1.0]])
+        assert pairwise_cosine_distances(x)[0, 1] == pytest.approx(1.0)
+
+    @settings(deadline=None, max_examples=30)
+    @given(finite_matrix)
+    def test_range_and_symmetry(self, x):
+        d = pairwise_cosine_distances(x)
+        assert np.all(d >= -1e-12) and np.all(d <= 2.0 + 1e-12)
+        np.testing.assert_allclose(d, d.T, atol=1e-8)

@@ -1,0 +1,60 @@
+"""Tests for repro.graph.knn."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.graph.knn import kneighbors
+
+
+def _line_distances(n):
+    """Points on a line at integer positions: distances are |i - j|."""
+    pos = np.arange(n, dtype=float)[:, None]
+    return np.abs(pos - pos.T)
+
+
+class TestKNeighbors:
+    def test_line_graph_neighbors(self):
+        idx, dist = kneighbors(_line_distances(5), 2)
+        # Point 0's nearest two neighbors are 1 and 2.
+        np.testing.assert_array_equal(sorted(idx[0]), [1, 2])
+        np.testing.assert_array_equal(dist[0], [1.0, 2.0])
+        # Interior point 2's neighbors are 1 and 3 (distance 1 each).
+        assert set(idx[2]) == {1, 3}
+
+    def test_self_excluded_by_default(self):
+        idx, _ = kneighbors(_line_distances(6), 3)
+        for i in range(6):
+            assert i not in idx[i]
+
+    def test_include_self(self):
+        idx, dist = kneighbors(_line_distances(4), 1, include_self=True)
+        np.testing.assert_array_equal(idx[:, 0], np.arange(4))
+        np.testing.assert_array_equal(dist[:, 0], 0.0)
+
+    def test_sorted_by_distance(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(20, 3))
+        from repro.graph.distance import pairwise_sq_euclidean
+
+        d = np.sqrt(pairwise_sq_euclidean(x))
+        _, dist = kneighbors(d, 7)
+        assert np.all(np.diff(dist, axis=1) >= -1e-12)
+
+    def test_inf_entries_allowed(self):
+        d = _line_distances(4)
+        d[0, 3] = d[3, 0] = np.inf
+        idx, _ = kneighbors(d, 2)
+        assert 3 not in idx[0][:2] or d[0, idx[0][-1]] < np.inf
+
+    def test_k_out_of_range(self):
+        with pytest.raises(ValidationError):
+            kneighbors(_line_distances(4), 4)
+        with pytest.raises(ValidationError):
+            kneighbors(_line_distances(4), 0)
+
+    def test_nan_rejected(self):
+        d = _line_distances(3)
+        d[0, 1] = np.nan
+        with pytest.raises(ValidationError, match="NaN"):
+            kneighbors(d, 1)

@@ -1,0 +1,96 @@
+"""Tests for repro.graph.laplacian."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.graph.laplacian import degree_vector, laplacian, normalized_adjacency
+from repro.linalg.checks import is_psd
+
+
+def _random_affinity(n=12, seed=0):
+    rng = np.random.default_rng(seed)
+    w = np.abs(rng.normal(size=(n, n)))
+    w = (w + w.T) / 2.0
+    np.fill_diagonal(w, 0.0)
+    return w
+
+
+class TestDegreeVector:
+    def test_row_sums(self):
+        w = _random_affinity()
+        np.testing.assert_allclose(degree_vector(w), w.sum(axis=1))
+
+    def test_negative_rejected(self):
+        w = -np.ones((3, 3))
+        np.fill_diagonal(w, 0.0)
+        with pytest.raises(ValidationError, match="non-negative"):
+            degree_vector(w)
+
+
+class TestNormalizedAdjacency:
+    def test_spectrum_bounded_by_one(self):
+        a = normalized_adjacency(_random_affinity(seed=1))
+        values = np.linalg.eigvalsh(a)
+        assert values.max() <= 1.0 + 1e-10
+        assert values.min() >= -1.0 - 1e-10
+
+    def test_isolated_vertex_row_zero(self):
+        w = np.zeros((3, 3))
+        w[0, 1] = w[1, 0] = 1.0
+        a = normalized_adjacency(w)
+        np.testing.assert_allclose(a[2], 0.0)
+
+
+class TestLaplacian:
+    def test_unnormalized_row_sums_zero(self):
+        lap = laplacian(_random_affinity(), normalization="unnormalized")
+        np.testing.assert_allclose(lap.sum(axis=1), 0.0, atol=1e-10)
+
+    def test_unnormalized_psd(self):
+        assert is_psd(laplacian(_random_affinity(seed=2), normalization="unnormalized"))
+
+    def test_symmetric_psd_and_bounded(self):
+        lap = laplacian(_random_affinity(seed=3))
+        assert is_psd(lap)
+        assert np.linalg.eigvalsh(lap).max() <= 2.0 + 1e-10
+
+    def test_symmetric_nullvector_is_sqrt_degree(self):
+        w = _random_affinity(seed=4)
+        lap = laplacian(w)
+        d = np.sqrt(degree_vector(w))
+        np.testing.assert_allclose(lap @ d, 0.0, atol=1e-8)
+
+    def test_random_walk_constant_nullvector(self):
+        lap = laplacian(_random_affinity(seed=5), normalization="random_walk")
+        np.testing.assert_allclose(lap @ np.ones(12), 0.0, atol=1e-10)
+
+    def test_component_count_equals_nullity(self):
+        # Two disconnected cliques -> nullity 2.
+        w = np.zeros((6, 6))
+        w[:3, :3] = 1.0
+        w[3:, 3:] = 1.0
+        np.fill_diagonal(w, 0.0)
+        lap = laplacian(w)
+        values = np.linalg.eigvalsh(lap)
+        assert np.sum(values < 1e-10) == 2
+
+    def test_unknown_normalization(self):
+        with pytest.raises(ValidationError, match="normalization"):
+            laplacian(_random_affinity(), normalization="weird")
+
+
+class TestNormalizedAdjacencyLaplacianConsistency:
+    def test_identity_minus_adjacency(self):
+        w = _random_affinity(seed=8)
+        lap = laplacian(w)
+        adj = normalized_adjacency(w)
+        np.testing.assert_allclose(lap, np.eye(12) - adj, atol=1e-10)
+
+    def test_bipartite_graph_eigenvalue_two(self):
+        # A bipartite graph's normalized Laplacian attains eigenvalue 2.
+        w = np.zeros((6, 6))
+        w[:3, 3:] = 1.0
+        w[3:, :3] = 1.0
+        values = np.linalg.eigvalsh(laplacian(w))
+        assert values.max() == pytest.approx(2.0, abs=1e-10)

@@ -1,0 +1,122 @@
+"""Tests for repro.graph.sparse."""
+
+import numpy as np
+import pytest
+import scipy.sparse
+
+from repro.exceptions import ValidationError
+from repro.graph.sparse import (
+    sparse_knn_affinity,
+    sparse_laplacian,
+    sparse_spectral_embedding,
+)
+
+
+def _blobs(n_per=30, sep=12.0, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.vstack(
+        [rng.normal(size=(n_per, 3)) + sep * i for i in range(3)]
+    )
+
+
+class TestSparseKnnAffinity:
+    def test_structure(self):
+        x = _blobs()
+        w = sparse_knn_affinity(x, k=8)
+        assert scipy.sparse.issparse(w)
+        assert w.shape == (90, 90)
+        assert (abs(w - w.T) > 1e-12).nnz == 0
+        assert w.diagonal().max() == 0.0
+        assert w.data.min() >= 0.0
+
+    def test_sparsity_bound(self):
+        w = sparse_knn_affinity(_blobs(), k=5)
+        # Union symmetrization: every row keeps its k outgoing edges, and
+        # the *average* degree is bounded by 2k (hubs may exceed it).
+        row_nnz = np.diff(w.indptr)
+        assert row_nnz.min() >= 5
+        assert row_nnz.mean() <= 10
+
+    def test_blocks_do_not_change_result(self):
+        x = _blobs(seed=1)
+        a = sparse_knn_affinity(x, k=6, block=7)
+        b = sparse_knn_affinity(x, k=6, block=512)
+        assert (abs(a - b) > 1e-12).nnz == 0
+
+    def test_separates_far_blobs(self):
+        x = _blobs(sep=50.0, seed=2)
+        w = sparse_knn_affinity(x, k=5)
+        dense = w.toarray()
+        assert dense[:30, 30:].max() == 0.0
+
+    def test_agrees_with_dense_recipe_on_kept_edges(self):
+        from repro.graph.affinity import self_tuning_affinity
+
+        x = _blobs(seed=3)
+        sparse_w = sparse_knn_affinity(x, k=8, scale_rank=7).toarray()
+        dense_w = self_tuning_affinity(x, k=7)
+        kept = sparse_w > 0
+        np.testing.assert_allclose(sparse_w[kept], dense_w[kept], rtol=1e-8)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            sparse_knn_affinity(np.zeros((1, 2)))
+        with pytest.raises(ValidationError):
+            sparse_knn_affinity(_blobs(), block=0)
+
+
+class TestSparseLaplacian:
+    def _w(self):
+        return sparse_knn_affinity(_blobs(seed=4), k=6)
+
+    def test_matches_dense_laplacian(self):
+        from repro.graph.laplacian import laplacian
+
+        w = self._w()
+        for norm in ("symmetric", "unnormalized", "random_walk"):
+            sparse_lap = sparse_laplacian(w, normalization=norm).toarray()
+            dense_lap = laplacian(w.toarray(), normalization=norm)
+            np.testing.assert_allclose(sparse_lap, dense_lap, atol=1e-10)
+
+    def test_psd_symmetric(self):
+        lap = sparse_laplacian(self._w()).toarray()
+        values = np.linalg.eigvalsh(lap)
+        assert values.min() >= -1e-10
+        assert values.max() <= 2.0 + 1e-10
+
+    def test_validation(self):
+        with pytest.raises(ValidationError, match="scipy sparse"):
+            sparse_laplacian(np.eye(3))
+        asym = scipy.sparse.csr_matrix(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        with pytest.raises(ValidationError, match="symmetric"):
+            sparse_laplacian(asym)
+
+
+class TestSparseSpectralEmbedding:
+    def test_clusters_recoverable(self):
+        from repro.cluster.kmeans import KMeans
+        from repro.metrics import clustering_accuracy
+
+        x = _blobs(sep=20.0, seed=5)
+        w = sparse_knn_affinity(x, k=7)
+        emb = sparse_spectral_embedding(w, 3)
+        labels = KMeans(3, random_state=0).fit_predict(emb)
+        truth = np.repeat(np.arange(3), 30)
+        assert clustering_accuracy(truth, labels) > 0.95
+
+    def test_matches_dense_subspace(self):
+        from repro.cluster.spectral import spectral_embedding
+
+        x = _blobs(seed=6)
+        w = sparse_knn_affinity(x, k=8)
+        sparse_emb = sparse_spectral_embedding(w, 3, row_normalize=False)
+        dense_emb = spectral_embedding(w.toarray(), 3, row_normalize=False)
+        # Same subspace: projector distance ~ 0.
+        p_sparse = sparse_emb @ sparse_emb.T
+        p_dense = dense_emb @ dense_emb.T
+        assert np.max(np.abs(p_sparse - p_dense)) < 1e-6
+
+    def test_validation(self):
+        w = sparse_knn_affinity(_blobs(seed=7), k=5)
+        with pytest.raises(ValidationError):
+            sparse_spectral_embedding(w, 0)

@@ -1,0 +1,36 @@
+"""Tests for repro.linalg.checks."""
+
+import numpy as np
+
+from repro.linalg.checks import is_orthonormal, is_psd, orthonormality_error
+
+
+class TestOrthonormality:
+    def test_identity_block(self):
+        assert orthonormality_error(np.eye(5, 3)) == 0.0
+        assert is_orthonormal(np.eye(5, 3))
+
+    def test_scaled_columns_fail(self):
+        f = np.eye(4, 2) * 2.0
+        assert not is_orthonormal(f)
+        assert orthonormality_error(f) > 1.0
+
+    def test_qr_factor_passes(self):
+        rng = np.random.default_rng(0)
+        q, _ = np.linalg.qr(rng.normal(size=(10, 4)))
+        assert is_orthonormal(q)
+
+
+class TestIsPsd:
+    def test_gram_matrix_is_psd(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(6, 4))
+        assert is_psd(a @ a.T)
+
+    def test_negative_definite_fails(self):
+        assert not is_psd(-np.eye(3))
+
+    def test_laplacian_is_psd(self):
+        w = np.array([[0.0, 1.0, 0.5], [1.0, 0.0, 0.2], [0.5, 0.2, 0.0]])
+        d = np.diag(w.sum(axis=1))
+        assert is_psd(d - w)

@@ -1,0 +1,72 @@
+"""Tests for repro.linalg.eigen."""
+
+import numpy as np
+import pytest
+import scipy.sparse
+
+from repro.exceptions import ValidationError
+from repro.linalg.eigen import eigsh_largest, eigsh_smallest, sorted_eigh
+
+
+def _random_symmetric(n, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n, n))
+    return (a + a.T) / 2.0
+
+
+class TestSortedEigh:
+    def test_matches_numpy(self):
+        a = _random_symmetric(12)
+        values, vectors = sorted_eigh(a)
+        np.testing.assert_allclose(values, np.linalg.eigvalsh(a), atol=1e-10)
+        np.testing.assert_allclose(a @ vectors, vectors * values, atol=1e-8)
+
+    def test_ascending(self):
+        values, _ = sorted_eigh(_random_symmetric(9, seed=3))
+        assert np.all(np.diff(values) >= -1e-12)
+
+
+class TestEigshSmallest:
+    def test_values_and_residual(self):
+        a = _random_symmetric(15, seed=1)
+        values, vectors = eigsh_smallest(a, 4)
+        full = np.linalg.eigvalsh(a)
+        np.testing.assert_allclose(values, full[:4], atol=1e-10)
+        np.testing.assert_allclose(a @ vectors, vectors * values, atol=1e-8)
+
+    def test_orthonormal_vectors(self):
+        _, vectors = eigsh_smallest(_random_symmetric(10, seed=2), 3)
+        np.testing.assert_allclose(vectors.T @ vectors, np.eye(3), atol=1e-10)
+
+    def test_k_equals_n(self):
+        a = _random_symmetric(6, seed=4)
+        values, _ = eigsh_smallest(a, 6)
+        np.testing.assert_allclose(values, np.linalg.eigvalsh(a), atol=1e-10)
+
+    def test_invalid_k(self):
+        a = _random_symmetric(5)
+        with pytest.raises(ValidationError):
+            eigsh_smallest(a, 0)
+        with pytest.raises(ValidationError):
+            eigsh_smallest(a, 6)
+
+    def test_sparse_input(self):
+        a = _random_symmetric(20, seed=5)
+        sp = scipy.sparse.csr_matrix(a)
+        values, _ = eigsh_smallest(sp, 3)
+        np.testing.assert_allclose(values, np.linalg.eigvalsh(a)[:3], atol=1e-8)
+
+
+class TestEigshLargest:
+    def test_values_descending(self):
+        a = _random_symmetric(15, seed=6)
+        values, vectors = eigsh_largest(a, 4)
+        full = np.linalg.eigvalsh(a)
+        np.testing.assert_allclose(values, full[::-1][:4], atol=1e-10)
+        np.testing.assert_allclose(a @ vectors, vectors * values, atol=1e-8)
+
+    def test_agrees_with_negated_smallest(self):
+        a = _random_symmetric(12, seed=7)
+        large, _ = eigsh_largest(a, 3)
+        small_of_neg, _ = eigsh_smallest(-a, 3)
+        np.testing.assert_allclose(large, -small_of_neg, atol=1e-10)

@@ -1,0 +1,79 @@
+"""Tests for repro.linalg.procrustes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import NumericalError
+from repro.linalg.procrustes import nearest_orthogonal, orthogonal_procrustes
+
+
+def _random_orthogonal(c, seed=0):
+    rng = np.random.default_rng(seed)
+    q, _ = np.linalg.qr(rng.normal(size=(c, c)))
+    return q
+
+
+class TestNearestOrthogonal:
+    def test_output_is_orthonormal(self):
+        rng = np.random.default_rng(0)
+        m = rng.normal(size=(8, 3))
+        q = nearest_orthogonal(m)
+        np.testing.assert_allclose(q.T @ q, np.eye(3), atol=1e-10)
+
+    def test_orthogonal_input_fixed_point(self):
+        q = _random_orthogonal(4)
+        np.testing.assert_allclose(nearest_orthogonal(q), q, atol=1e-10)
+
+    def test_maximizes_trace(self):
+        # tr(Q^T M) at the polar factor equals the nuclear norm of M, an
+        # upper bound for any orthonormal Q.
+        rng = np.random.default_rng(1)
+        m = rng.normal(size=(6, 4))
+        q = nearest_orthogonal(m)
+        nuclear = np.linalg.svd(m, compute_uv=False).sum()
+        assert np.trace(q.T @ m) == pytest.approx(nuclear, abs=1e-8)
+        other = nearest_orthogonal(rng.normal(size=(6, 4)))
+        assert np.trace(other.T @ m) <= nuclear + 1e-8
+
+    def test_wide_matrix_rejected(self):
+        with pytest.raises(NumericalError, match="p >= q"):
+            nearest_orthogonal(np.zeros((2, 5)))
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(1, 6), st.integers(0, 1000))
+    def test_property_orthonormal_columns(self, q_dim, seed):
+        rng = np.random.default_rng(seed)
+        m = rng.normal(size=(q_dim + 3, q_dim))
+        out = nearest_orthogonal(m)
+        assert np.max(np.abs(out.T @ out - np.eye(q_dim))) < 1e-8
+
+
+class TestOrthogonalProcrustes:
+    def test_recovers_rotation(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(20, 4))
+        r_true = _random_orthogonal(4, seed=3)
+        b = a @ r_true
+        r = orthogonal_procrustes(a, b)
+        np.testing.assert_allclose(r, r_true, atol=1e-8)
+
+    def test_result_is_orthogonal(self):
+        rng = np.random.default_rng(4)
+        r = orthogonal_procrustes(rng.normal(size=(10, 3)), rng.normal(size=(10, 3)))
+        np.testing.assert_allclose(r.T @ r, np.eye(3), atol=1e-10)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(NumericalError, match="same shape"):
+            orthogonal_procrustes(np.zeros((4, 2)), np.zeros((4, 3)))
+
+    def test_optimality_against_random_rotations(self):
+        rng = np.random.default_rng(5)
+        a = rng.normal(size=(15, 3))
+        b = rng.normal(size=(15, 3))
+        r = orthogonal_procrustes(a, b)
+        best = np.linalg.norm(a @ r - b)
+        for seed in range(20):
+            other = _random_orthogonal(3, seed=seed)
+            assert best <= np.linalg.norm(a @ other - b) + 1e-8

@@ -1,0 +1,91 @@
+"""Tests for repro.metrics.silhouette."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics.silhouette import silhouette_samples, silhouette_score
+
+
+class TestSilhouetteSamples:
+    def test_well_separated_near_one(self):
+        x = np.vstack([np.zeros((10, 2)), np.full((10, 2), 50.0)])
+        labels = np.repeat([0, 1], 10)
+        s = silhouette_samples(x, labels)
+        assert s.min() > 0.9
+
+    def test_wrong_assignment_negative(self):
+        x = np.vstack([np.zeros((10, 2)), np.full((10, 2), 50.0)])
+        labels = np.repeat([0, 1], 10)
+        wrong = labels.copy()
+        wrong[0] = 1  # a point at the origin assigned to the far cluster
+        s = silhouette_samples(x, wrong)
+        assert s[0] < 0
+
+    def test_matches_manual_small_case(self):
+        x = np.array([[0.0], [1.0], [10.0], [11.0]])
+        labels = np.array([0, 0, 1, 1])
+        s = silhouette_samples(x, labels)
+        # Point 0: a = 1, b = mean(10, 11) = 10.5 -> s = 9.5 / 10.5.
+        assert s[0] == pytest.approx(9.5 / 10.5)
+
+    def test_singleton_scores_zero(self):
+        x = np.array([[0.0], [10.0], [11.0]])
+        labels = np.array([0, 1, 1])
+        s = silhouette_samples(x, labels)
+        assert s[0] == 0.0
+
+    def test_precomputed_matches_features(self):
+        from repro.graph.distance import pairwise_sq_euclidean
+
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(20, 3))
+        labels = rng.integers(0, 3, size=20)
+        labels[:3] = [0, 1, 2]
+        d = np.sqrt(pairwise_sq_euclidean(x))
+        np.testing.assert_allclose(
+            silhouette_samples(x, labels),
+            silhouette_samples(d, labels, precomputed=True),
+            atol=1e-10,
+        )
+
+    def test_matches_sklearn_formula_bruteforce(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(15, 2))
+        labels = rng.integers(0, 3, size=15)
+        labels[:3] = [0, 1, 2]
+        s = silhouette_samples(x, labels)
+        # Brute-force recomputation.
+        d = np.sqrt(((x[:, None, :] - x[None, :, :]) ** 2).sum(-1))
+        for i in range(15):
+            own = labels == labels[i]
+            a = d[i, own & (np.arange(15) != i)].mean() if own.sum() > 1 else 0.0
+            bs = [
+                d[i, labels == c].mean()
+                for c in np.unique(labels)
+                if c != labels[i]
+            ]
+            b = min(bs)
+            expected = 0.0 if own.sum() == 1 else (b - a) / max(a, b)
+            assert s[i] == pytest.approx(expected, abs=1e-10)
+
+    def test_single_cluster_rejected(self):
+        with pytest.raises(ValidationError, match="at least 2"):
+            silhouette_samples(np.zeros((4, 2)), np.zeros(4, dtype=int))
+
+
+class TestSilhouetteScore:
+    def test_range(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(30, 4))
+        labels = rng.integers(0, 3, size=30)
+        labels[:3] = [0, 1, 2]
+        assert -1.0 <= silhouette_score(x, labels) <= 1.0
+
+    def test_better_clustering_higher_score(self):
+        x = np.vstack([np.zeros((10, 2)), np.full((10, 2), 10.0)])
+        good = np.repeat([0, 1], 10)
+        rng = np.random.default_rng(3)
+        bad = rng.integers(0, 2, size=20)
+        bad[:2] = [0, 1]
+        assert silhouette_score(x, good) > silhouette_score(x, bad)

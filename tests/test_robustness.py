@@ -1,0 +1,154 @@
+"""Robustness and failure-injection tests across the full stack.
+
+Degenerate inputs a downstream user will eventually feed the library:
+duplicate points, constant features, isolated vertices, disconnected
+graphs, single clusters, tiny datasets — none may crash, and documented
+invariants must still hold.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.cluster import KMeans, spectral_clustering
+from repro.core import TwoStageMVSC, UnifiedMVSC
+from repro.exceptions import ConvergenceWarning
+from repro.graph import build_view_affinity, laplacian
+from repro.metrics import clustering_accuracy
+
+
+@pytest.fixture(autouse=True)
+def _silence_convergence():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", ConvergenceWarning)
+        yield
+
+
+class TestDuplicatePoints:
+    def test_kmeans_on_duplicates(self):
+        x = np.repeat(np.array([[0.0, 0.0], [5.0, 5.0]]), 10, axis=0)
+        labels = KMeans(2, random_state=0).fit_predict(x)
+        truth = np.repeat([0, 1], 10)
+        assert clustering_accuracy(truth, labels) == 1.0
+
+    def test_affinity_on_duplicates(self):
+        x = np.repeat(np.array([[1.0, 2.0]]), 8, axis=0)
+        w = build_view_affinity(x, k=3)
+        assert np.all(np.isfinite(w))
+
+    def test_umsc_with_duplicate_rows(self):
+        rng = np.random.default_rng(0)
+        base = np.vstack(
+            [rng.normal(size=(20, 4)), rng.normal(size=(20, 4)) + 8]
+        )
+        base[5] = base[6]  # exact duplicates
+        result = UnifiedMVSC(2, random_state=0).fit([base, base + 0.01])
+        assert result.labels.shape == (40,)
+        assert set(result.labels.tolist()) == {0, 1}
+
+
+class TestConstantFeatures:
+    def test_constant_view_column(self):
+        rng = np.random.default_rng(1)
+        x = np.vstack([rng.normal(size=(15, 3)), rng.normal(size=(15, 3)) + 9])
+        x[:, 1] = 7.0  # constant column
+        result = UnifiedMVSC(2, random_state=0).fit([x])
+        truth = np.repeat([0, 1], 15)
+        assert clustering_accuracy(truth, result.labels) > 0.9
+
+    def test_all_constant_view_does_not_crash(self):
+        rng = np.random.default_rng(2)
+        good = np.vstack([rng.normal(size=(12, 3)), rng.normal(size=(12, 3)) + 9])
+        constant = np.ones((24, 5))
+        result = UnifiedMVSC(2, random_state=0).fit([good, constant])
+        assert result.labels.shape == (24,)
+
+
+class TestDisconnectedGraphs:
+    def _components_affinity(self):
+        w = np.zeros((12, 12))
+        w[:4, :4] = 1.0
+        w[4:8, 4:8] = 1.0
+        w[8:, 8:] = 1.0
+        np.fill_diagonal(w, 0.0)
+        return w
+
+    def test_spectral_clustering_on_components(self):
+        labels = spectral_clustering(self._components_affinity(), 3, random_state=0)
+        truth = np.repeat([0, 1, 2], 4)
+        assert clustering_accuracy(truth, labels) == 1.0
+
+    def test_umsc_on_components(self):
+        w = self._components_affinity()
+        result = UnifiedMVSC(3, random_state=0).fit_affinities([w, w])
+        truth = np.repeat([0, 1, 2], 4)
+        assert clustering_accuracy(truth, result.labels) == 1.0
+
+    def test_isolated_vertex_survives(self):
+        w = self._components_affinity()
+        w[0, :] = 0.0
+        w[:, 0] = 0.0  # vertex 0 isolated
+        lap = laplacian(w)
+        assert np.all(np.isfinite(lap))
+        result = UnifiedMVSC(3, random_state=0).fit_affinities([w])
+        assert result.labels.shape == (12,)
+
+
+class TestDegenerateClusterCounts:
+    def test_single_cluster(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(20, 4))
+        result = UnifiedMVSC(1, random_state=0).fit([x])
+        assert set(result.labels.tolist()) == {0}
+
+    def test_n_clusters_equals_n_samples(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(6, 3)) * 10
+        result = UnifiedMVSC(6, random_state=0, n_neighbors=3).fit([x])
+        assert sorted(set(result.labels.tolist())) == list(range(6))
+
+    def test_two_samples(self):
+        x = np.array([[0.0, 0.0], [10.0, 10.0]])
+        result = UnifiedMVSC(2, random_state=0).fit([x])
+        assert set(result.labels.tolist()) == {0, 1}
+
+
+class TestScaleExtremes:
+    def test_tiny_feature_scale(self):
+        rng = np.random.default_rng(5)
+        x = (
+            np.vstack([rng.normal(size=(15, 3)), rng.normal(size=(15, 3)) + 8])
+            * 1e-9
+        )
+        result = UnifiedMVSC(2, random_state=0).fit([x])
+        truth = np.repeat([0, 1], 15)
+        assert clustering_accuracy(truth, result.labels) > 0.9
+
+    def test_huge_feature_scale(self):
+        rng = np.random.default_rng(6)
+        x = (
+            np.vstack([rng.normal(size=(15, 3)), rng.normal(size=(15, 3)) + 8])
+            * 1e9
+        )
+        result = UnifiedMVSC(2, random_state=0).fit([x])
+        truth = np.repeat([0, 1], 15)
+        assert clustering_accuracy(truth, result.labels) > 0.9
+
+    def test_mixed_view_scales(self):
+        rng = np.random.default_rng(7)
+        base = np.vstack([rng.normal(size=(15, 3)), rng.normal(size=(15, 3)) + 8])
+        labels = TwoStageMVSC(2, random_state=0).fit_predict(
+            [base * 1e6, base * 1e-6]
+        )
+        truth = np.repeat([0, 1], 15)
+        assert clustering_accuracy(truth, labels) > 0.9
+
+
+class TestManyClustersFewPoints:
+    def test_k_larger_than_neighbors(self):
+        rng = np.random.default_rng(8)
+        x = rng.normal(size=(10, 2)) * 5
+        # n_neighbors exceeding n-1 must be clipped, not crash.
+        result = UnifiedMVSC(3, n_neighbors=50, random_state=0).fit([x])
+        assert np.all(np.bincount(result.labels, minlength=3) >= 1)

@@ -1,0 +1,56 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.rng import check_random_state, spawn_seeds
+
+
+class TestCheckRandomState:
+    def test_none_gives_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = check_random_state(42).integers(0, 1_000_000, size=5)
+        b = check_random_state(42).integers(0, 1_000_000, size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = check_random_state(1).integers(0, 1_000_000, size=8)
+        b = check_random_state(2).integers(0, 1_000_000, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert check_random_state(gen) is gen
+
+    def test_numpy_integer_accepted(self):
+        gen = check_random_state(np.int64(7))
+        assert isinstance(gen, np.random.Generator)
+
+    def test_seed_sequence_accepted(self):
+        gen = check_random_state(np.random.SeedSequence(5))
+        assert isinstance(gen, np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(ValidationError, match="random_state"):
+            check_random_state("not-a-seed")
+
+
+class TestSpawnSeeds:
+    def test_count_and_range(self):
+        seeds = spawn_seeds(0, 10)
+        assert len(seeds) == 10
+        assert all(0 <= s < 2**31 for s in seeds)
+
+    def test_deterministic(self):
+        assert spawn_seeds(3, 5) == spawn_seeds(3, 5)
+
+    def test_distinct_in_practice(self):
+        seeds = spawn_seeds(0, 50)
+        assert len(set(seeds)) == 50
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValidationError):
+            spawn_seeds(0, 0)
