@@ -76,4 +76,7 @@ def test_benchmark_umsc_medium(benchmark):
         return UnifiedMVSC(ds.n_clusters, random_state=0).fit(ds.views)
 
     result = benchmark(fit)
+    # Per-block timing trajectory of the last fit, persisted into the
+    # benchmark JSON so saved entries carry the phase-level breakdown.
+    benchmark.extra_info["phase_seconds"] = result.diagnostics.phase_seconds()
     assert result.labels.shape == (300,)

@@ -8,7 +8,12 @@ ordering is asserted.
 
 from __future__ import annotations
 
-from _config import all_table_results, bench_datasets, get_dataset
+from _config import (
+    all_table_results,
+    attach_phase_extra_info,
+    bench_datasets,
+    get_dataset,
+)
 
 from repro.core import UnifiedMVSC
 from repro.core.tuning import recommended_params
@@ -17,6 +22,7 @@ from repro.evaluation.tables import format_metric_table, summarize_ranks
 
 def test_table2_acc_prints(capsys, benchmark):
     results = benchmark.pedantic(all_table_results, rounds=1, iterations=1)
+    attach_phase_extra_info(benchmark, results)
     table = format_metric_table(results, "acc")
     ranks = summarize_ranks(results, "acc")
     with capsys.disabled():

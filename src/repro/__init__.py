@@ -31,11 +31,24 @@ from repro.evaluation.runner import run_experiment
 from repro.exceptions import (
     ConvergenceWarning,
     DatasetError,
+    MonotonicityWarning,
     NumericalError,
     ReproError,
     ValidationError,
 )
 from repro.metrics.report import evaluate_clustering
+from repro.observability import (
+    FitCallback,
+    FitDiagnostics,
+    IterationEvent,
+    JsonlSink,
+    LoggingSink,
+    Trace,
+    TraceRecorder,
+    current_trace,
+    span,
+    use_trace,
+)
 
 __version__ = "1.0.0"
 
@@ -58,5 +71,16 @@ __all__ = [
     "NumericalError",
     "DatasetError",
     "ConvergenceWarning",
+    "MonotonicityWarning",
+    "FitCallback",
+    "FitDiagnostics",
+    "IterationEvent",
+    "JsonlSink",
+    "LoggingSink",
+    "Trace",
+    "TraceRecorder",
+    "current_trace",
+    "span",
+    "use_trace",
     "__version__",
 ]

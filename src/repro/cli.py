@@ -8,6 +8,11 @@ Five subcommands mirror the evaluation artifacts:
 * ``convergence`` — print the Figure-1 objective trace;
 * ``stability``   — seed-stability comparison of one-stage vs two-stage.
 
+``run`` exposes the observability layer: ``--verbose`` streams one line
+per solver iteration to stderr, ``--trace PATH`` writes the spans and
+iteration events as JSONL, and ``--profile`` prints a per-phase timing
+table (where the time went: graph build / eigensolve / GPI / Y-step).
+
 Everything the CLI does is also available programmatically through
 :mod:`repro.evaluation`; the CLI only parses arguments and prints.
 """
@@ -22,6 +27,7 @@ from repro.evaluation.curves import convergence_curve, sparkline
 from repro.evaluation.registry import default_method_registry
 from repro.evaluation.runner import run_experiment, run_method_once
 from repro.evaluation.tables import format_metric_table, format_rows
+from repro.observability import JsonlSink, LoggingSink, Trace, use_trace
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -42,6 +48,22 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(default_method_registry()),
     )
     run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log one line per solver iteration to stderr",
+    )
+    run_p.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write spans and iteration events to PATH as JSONL",
+    )
+    run_p.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-phase timing breakdown after the run",
+    )
 
     table_p = sub.add_parser("table", help="print a comparison table")
     table_p.add_argument(
@@ -92,16 +114,45 @@ def _cmd_datasets(out) -> int:
     return 0
 
 
+def _profile_table(trace, total_seconds: float) -> str:
+    """Per-phase timing table of one trace (sorted by total time)."""
+    stats = trace.phase_stats()
+    rows = []
+    for name, (count, seconds) in sorted(
+        stats.items(), key=lambda item: -item[1][1]
+    ):
+        share = 100.0 * seconds / total_seconds if total_seconds > 0 else 0.0
+        rows.append([name, count, f"{seconds:.3f}s", f"{share:.1f}%"])
+    return format_rows(["phase", "calls", "total", "share"], rows)
+
+
 def _cmd_run(args, out) -> int:
     dataset = load_benchmark(args.dataset)
     spec = default_method_registry()[args.method]
-    scores, seconds = run_method_once(
-        spec, dataset, args.seed, metrics=("acc", "nmi", "purity")
-    )
+    sinks = []
+    if args.trace:
+        sinks.append(JsonlSink(args.trace))
+    if args.verbose:
+        sinks.append(LoggingSink(stream=sys.stderr))
+    trace = Trace(f"run:{args.dataset}:{args.method}", sinks=sinks)
+    with use_trace(trace):
+        scores, seconds = run_method_once(
+            spec, dataset, args.seed, metrics=("acc", "nmi", "purity")
+        )
     print(dataset.summary(), file=out)
     print(f"{args.method} ({seconds:.2f}s):", file=out)
     for metric, value in scores.items():
         print(f"  {metric:>7}: {value:.3f}", file=out)
+    if args.profile:
+        print("profile (time per phase):", file=out)
+        print(_profile_table(trace, seconds), file=out)
+    if args.trace:
+        n_events = len(trace.events)
+        print(
+            f"trace: {len(trace.spans)} spans, {n_events} iteration "
+            f"events -> {args.trace}",
+            file=out,
+        )
     return 0
 
 

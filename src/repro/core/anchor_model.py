@@ -20,6 +20,8 @@ making this the spectral-rotation end of the framework at scale.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core.discrete import (
@@ -35,6 +37,8 @@ from repro.graph.anchor import (
     select_anchors,
 )
 from repro.linalg.procrustes import nearest_orthogonal
+from repro.observability.events import IterationEvent, dispatch_event
+from repro.observability.trace import span
 from repro.utils.rng import check_random_state
 from repro.utils.validation import check_views
 
@@ -69,6 +73,10 @@ class AnchorMVSC:
     n_restarts : int
         Rotation-initialization restarts.
     random_state : int, Generator, or None
+    callbacks : sequence of FitCallback, optional
+        Listeners receiving one :class:`~repro.observability.events.
+        IterationEvent` per outer iteration (see
+        :mod:`repro.observability`).
 
     Examples
     --------
@@ -90,6 +98,7 @@ class AnchorMVSC:
         max_iter: int = 10,
         n_restarts: int = 10,
         random_state=None,
+        callbacks=(),
     ) -> None:
         if n_clusters < 1:
             raise ValidationError(f"n_clusters must be >= 1, got {n_clusters}")
@@ -107,6 +116,16 @@ class AnchorMVSC:
         self.max_iter = int(max_iter)
         self.n_restarts = int(n_restarts)
         self.random_state = random_state
+        self.callbacks = tuple(callbacks)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(n_clusters={self.n_clusters}, "
+            f"n_anchors={self.n_anchors}, "
+            f"n_anchor_neighbors={self.n_anchor_neighbors}, "
+            f"gamma={self.gamma}, weighting={self.weighting!r}, "
+            f"max_iter={self.max_iter}, n_restarts={self.n_restarts})"
+        )
 
     def fit_predict(self, views) -> np.ndarray:
         """Cluster raw multi-view features at anchor-graph cost."""
@@ -119,41 +138,88 @@ class AnchorMVSC:
         m = self.n_anchors or min(n, max(10 * c, 100))
         m = min(m, n)
 
-        factors = []
-        for x in views:
-            anchors = select_anchors(x, m, random_state=rng)
-            z = anchor_assignment(x, anchors, k=self.n_anchor_neighbors)
-            factors.append(anchor_affinity_factor(z))
+        dispatch_event(
+            self.callbacks,
+            "on_fit_start",
+            {
+                "solver": type(self).__name__,
+                "n_samples": n,
+                "n_views": len(views),
+                "n_clusters": c,
+                "n_anchors": m,
+            },
+        )
+        with span("graph_build", n_views=len(views), n_anchors=m):
+            factors = []
+            for x in views:
+                anchors = select_anchors(x, m, random_state=rng)
+                z = anchor_assignment(x, anchors, k=self.n_anchor_neighbors)
+                factors.append(anchor_affinity_factor(z))
 
         n_views = len(factors)
         w = np.full(n_views, 1.0 / n_views)
         labels = None
         f = None
-        for _ in range(self.max_iter):
-            multipliers = weight_exponents(w, mode=self.weighting, gamma=self.gamma)
-            multipliers = multipliers / np.sum(multipliers)
-            stacked = np.hstack(
-                [np.sqrt(mv) * b for mv, b in zip(multipliers, factors)]
-            )
-            f = _top_left_singular(stacked, c)
-            if labels is None:
-                rot, labels = rotation_initialize(
-                    f, c, n_restarts=self.n_restarts, random_state=rng
+        n_iter = 0
+        for n_iter in range(1, self.max_iter + 1):
+            block_seconds: dict[str, float] = {}
+            tick = time.perf_counter()
+            with span("f_step", iteration=n_iter):
+                multipliers = weight_exponents(
+                    w, mode=self.weighting, gamma=self.gamma
                 )
-            else:
-                rot = nearest_orthogonal(f.T @ scaled_indicator(labels, c))
-                labels = indicator_coordinate_descent(f @ rot, labels, c)
+                multipliers = multipliers / np.sum(multipliers)
+                stacked = np.hstack(
+                    [np.sqrt(mv) * b for mv, b in zip(multipliers, factors)]
+                )
+                f = _top_left_singular(stacked, c)
+            block_seconds["f_step"] = time.perf_counter() - tick
+            labels_before = labels
+            tick = time.perf_counter()
+            with span("y_step", iteration=n_iter):
+                if labels is None:
+                    rot, labels = rotation_initialize(
+                        f, c, n_restarts=self.n_restarts, random_state=rng
+                    )
+                else:
+                    rot = nearest_orthogonal(f.T @ scaled_indicator(labels, c))
+                    labels = indicator_coordinate_descent(f @ rot, labels, c)
+            block_seconds["y_step"] = time.perf_counter() - tick
+            label_moves = (
+                None
+                if labels_before is None
+                else int(np.count_nonzero(labels != labels_before))
+            )
             # Per-view cost: disagreement between the shared embedding and
             # the view's anchor graph, c - ||B_v^T F||^2 (in [0, c]).
-            h = np.array(
-                [c - float(np.sum((b.T @ f) ** 2)) for b in factors]
-            )
-            new_w = update_view_weights(
-                np.maximum(h, 0.0), mode=self.weighting, gamma=self.gamma
-            )
-            if np.allclose(new_w, w, atol=1e-10):
-                w = new_w
-                break
+            tick = time.perf_counter()
+            with span("w_step", iteration=n_iter):
+                h = np.array(
+                    [c - float(np.sum((b.T @ f) ** 2)) for b in factors]
+                )
+                new_w = update_view_weights(
+                    np.maximum(h, 0.0), mode=self.weighting, gamma=self.gamma
+                )
+            block_seconds["w_step"] = time.perf_counter() - tick
+            weights_converged = np.allclose(new_w, w, atol=1e-10)
             w = new_w
+            dispatch_event(
+                self.callbacks,
+                "on_iteration",
+                IterationEvent(
+                    solver=type(self).__name__,
+                    iteration=n_iter,
+                    block_seconds=block_seconds,
+                    label_moves=label_moves,
+                    view_weights=tuple(float(x) for x in w),
+                ),
+            )
+            if weights_converged:
+                break
+        dispatch_event(
+            self.callbacks,
+            "on_fit_end",
+            {"solver": type(self).__name__, "n_iter": n_iter},
+        )
         assert labels is not None
         return labels

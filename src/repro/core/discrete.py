@@ -28,6 +28,7 @@ import numpy as np
 from repro.cluster.labels import indicator_from_labels, repair_empty_clusters
 from repro.exceptions import ValidationError
 from repro.linalg.procrustes import nearest_orthogonal
+from repro.observability.trace import metric_inc, span
 from repro.utils.rng import check_random_state
 from repro.utils.validation import check_matrix
 
@@ -94,7 +95,9 @@ def indicator_coordinate_descent(
     np.add.at(q, labels, m[np.arange(n), labels])
 
     sqrt = np.sqrt
-    for _ in range(max_sweeps):
+    n_moves = 0
+    n_sweeps = 0
+    for n_sweeps in range(1, max_sweeps + 1):
         moved = False
         for i in range(n):
             a = labels[i]
@@ -116,8 +119,11 @@ def indicator_coordinate_descent(
                 counts[b] += 1.0
                 labels[i] = b
                 moved = True
+                n_moves += 1
         if not moved:
             break
+    metric_inc("y_step.moves", n_moves)
+    metric_inc("y_step.sweeps", n_sweeps)
     return labels
 
 
@@ -185,27 +191,30 @@ def rotation_initialize(
 
     best_obj = -np.inf
     best: tuple[np.ndarray, np.ndarray] | None = None
-    for restart in range(n_restarts):
-        if restart % 2 == 0:
-            rot = anchor_rotation(f, rng)
-        else:
-            qmat, rmat = np.linalg.qr(rng.normal(size=(c, c)))
-            rot = qmat * np.sign(np.diag(rmat))[None, :]
-        scores = f @ rot
-        labels = repair_empty_clusters(
-            np.argmax(scores, axis=1).astype(np.int64), c, scores=scores, rng=rng
-        )
-        prev = labels.copy()
-        for _ in range(max_alt):
-            # Few sweeps per alternation: the outer loop re-polishes.
-            labels = indicator_coordinate_descent(f @ rot, labels, c, max_sweeps=4)
-            rot = nearest_orthogonal(f.T @ scaled_indicator(labels, c))
-            if np.array_equal(labels, prev):
-                break
+    with span("rotation_initialize", n_restarts=n_restarts, n=n, c=c):
+        for restart in range(n_restarts):
+            if restart % 2 == 0:
+                rot = anchor_rotation(f, rng)
+            else:
+                qmat, rmat = np.linalg.qr(rng.normal(size=(c, c)))
+                rot = qmat * np.sign(np.diag(rmat))[None, :]
+            scores = f @ rot
+            labels = repair_empty_clusters(
+                np.argmax(scores, axis=1).astype(np.int64), c, scores=scores, rng=rng
+            )
             prev = labels.copy()
-        obj = rotation_objective(f @ rot, labels, c)
-        if obj > best_obj:
-            best_obj = obj
-            best = (rot, labels)
+            for _ in range(max_alt):
+                # Few sweeps per alternation: the outer loop re-polishes.
+                labels = indicator_coordinate_descent(
+                    f @ rot, labels, c, max_sweeps=4
+                )
+                rot = nearest_orthogonal(f.T @ scaled_indicator(labels, c))
+                if np.array_equal(labels, prev):
+                    break
+                prev = labels.copy()
+            obj = rotation_objective(f @ rot, labels, c)
+            if obj > best_obj:
+                best_obj = obj
+                best = (rot, labels)
     assert best is not None
     return best

@@ -11,6 +11,7 @@ import numpy as np
 
 from repro.graph.affinity import build_view_affinity
 from repro.graph.laplacian import laplacian
+from repro.observability.trace import span
 from repro.utils.validation import check_views
 
 
@@ -52,10 +53,14 @@ def build_multiview_affinities(
     list of ndarray (n, n)
     """
     views = check_views(views, "views")
-    return [
-        build_view_affinity(x, kind=resolve_view_kind(x, kind), k=n_neighbors)
-        for x in views
-    ]
+    affinities = []
+    for i, x in enumerate(views):
+        resolved = resolve_view_kind(x, kind)
+        with span("view_affinity", view=i, kind=resolved, n=x.shape[0]):
+            affinities.append(
+                build_view_affinity(x, kind=resolved, k=n_neighbors)
+            )
+    return affinities
 
 
 def build_laplacians(

@@ -35,6 +35,7 @@ anywhere*, which is the paper's headline contribution.
 
 from __future__ import annotations
 
+import time
 import warnings
 
 import numpy as np
@@ -51,10 +52,20 @@ from repro.core.graph_builder import build_laplacians, build_multiview_affinitie
 from repro.core.objective import spectral_costs, umsc_objective
 from repro.core.result import UMSCResult
 from repro.core.weights import update_view_weights, weight_exponents
-from repro.exceptions import ConvergenceWarning, ValidationError
+from repro.exceptions import (
+    ConvergenceWarning,
+    MonotonicityWarning,
+    ValidationError,
+)
 from repro.graph.laplacian import laplacian
 from repro.linalg.eigen import eigsh_smallest
 from repro.linalg.gpi import gpi_stiefel
+from repro.observability.events import (
+    FitDiagnostics,
+    IterationEvent,
+    dispatch_event,
+)
+from repro.observability.trace import span
 from repro.linalg.procrustes import nearest_orthogonal
 from repro.utils.rng import check_random_state
 from repro.utils.validation import check_symmetric
@@ -94,6 +105,12 @@ class UnifiedMVSC:
         analogue of discretization restarts).
     random_state : int, Generator, or None
         Seeds the rotation initialization (the only stochastic step).
+    callbacks : sequence of FitCallback, optional
+        Listeners receiving one structured
+        :class:`~repro.observability.events.IterationEvent` per outer
+        iteration (plus fit start/end hooks).  Iteration events also
+        flow to the contextvar-active trace, if any; see
+        :mod:`repro.observability`.
 
     Examples
     --------
@@ -121,6 +138,7 @@ class UnifiedMVSC:
         gpi_tol: float = 1e-8,
         n_restarts: int = 10,
         random_state=None,
+        callbacks=(),
     ) -> None:
         self.config = UMSCConfig(
             n_clusters=n_clusters,
@@ -139,6 +157,18 @@ class UnifiedMVSC:
             raise ValidationError(f"n_restarts must be >= 1, got {n_restarts}")
         self.n_restarts = int(n_restarts)
         self.random_state = random_state
+        self.callbacks = tuple(callbacks)
+
+    def __repr__(self) -> str:
+        cfg = self.config
+        return (
+            f"{type(self).__name__}(n_clusters={cfg.n_clusters}, "
+            f"lam={cfg.lam}, consensus={cfg.consensus}, "
+            f"gamma={cfg.gamma}, weighting={cfg.weighting!r}, "
+            f"graph={cfg.graph!r}, n_neighbors={cfg.n_neighbors}, "
+            f"max_iter={cfg.max_iter}, tol={cfg.tol}, "
+            f"n_restarts={self.n_restarts})"
+        )
 
     def fit(self, views) -> UMSCResult:
         """Cluster raw multi-view features.
@@ -152,9 +182,10 @@ class UnifiedMVSC:
             Per-view feature matrices sharing rows.
         """
         cfg = self.config
-        affinities = build_multiview_affinities(
-            views, kind=cfg.graph, n_neighbors=cfg.n_neighbors
-        )
+        with span("graph_build", kind=cfg.graph, n_views=len(views)):
+            affinities = build_multiview_affinities(
+                views, kind=cfg.graph, n_neighbors=cfg.n_neighbors
+            )
         return self.fit_affinities(affinities)
 
     def fit_predict(self, views) -> np.ndarray:
@@ -180,81 +211,180 @@ class UnifiedMVSC:
         if c > n:
             raise ValidationError(f"n_clusters={c} exceeds n_samples={n}")
         rng = check_random_state(self.random_state)
+        dispatch_event(
+            self.callbacks,
+            "on_fit_start",
+            {
+                "solver": type(self).__name__,
+                "n_samples": n,
+                "n_views": len(affinities),
+                "n_clusters": c,
+            },
+        )
         # Per-view Laplacians drive the weight update and supply the
         # spectral bases of the consensus term; the embedding operator is
         # the jointly normalized Laplacian of the fused affinity minus the
         # weighted per-view projectors.
-        view_laplacians = build_laplacians(affinities)
+        with span("view_laplacians", n_views=len(affinities)):
+            view_laplacians = build_laplacians(affinities)
         n_views = len(affinities)
         if cfg.consensus > 0:
-            view_bases = [eigsh_smallest(lap, c)[1] for lap in view_laplacians]
+            with span("view_bases", n_views=n_views, k=c):
+                view_bases = [
+                    eigsh_smallest(lap, c)[1] for lap in view_laplacians
+                ]
         else:
             view_bases = []
 
         # --- Initialization -------------------------------------------------
-        w = np.full(n_views, 1.0 / n_views)
-        fused_lap = self._fused_operator(affinities, view_bases, w)
-        _, f = eigsh_smallest(fused_lap, c)
-        r, labels = rotation_initialize(
-            f, c, n_restarts=self.n_restarts, random_state=rng
-        )
+        with span("initialize", n_restarts=self.n_restarts):
+            w = np.full(n_views, 1.0 / n_views)
+            fused_lap = self._fused_operator(affinities, view_bases, w)
+            _, f = eigsh_smallest(fused_lap, c)
+            r, labels = rotation_initialize(
+                f, c, n_restarts=self.n_restarts, random_state=rng
+            )
 
         history: list[float] = []
+        events: list[IterationEvent] = []
         prev = np.inf
+        rel_change: float | None = None
         converged = False
         n_iter = 0
         for n_iter in range(1, cfg.max_iter + 1):
             g = scaled_indicator(labels, c)
+            block_seconds: dict[str, float] = {}
+            gpi_iterations: int | None = None
             # F-step: quadratic problem on the Stiefel manifold (GPI).
             # With lam = 0 the subproblem is the plain eigenproblem of the
             # (reweighted) fused operator.
-            if cfg.lam > 0:
-                gpi = gpi_stiefel(
-                    fused_lap,
-                    cfg.lam * (g @ r.T),
-                    f0=f,
-                    max_iter=cfg.gpi_max_iter,
-                    tol=cfg.gpi_tol,
-                )
-                f = gpi.f
-            else:
-                _, f = eigsh_smallest(fused_lap, c)
+            tick = time.perf_counter()
+            with span("f_step", iteration=n_iter) as f_span:
+                if cfg.lam > 0:
+                    gpi = gpi_stiefel(
+                        fused_lap,
+                        cfg.lam * (g @ r.T),
+                        f0=f,
+                        max_iter=cfg.gpi_max_iter,
+                        tol=cfg.gpi_tol,
+                    )
+                    f = gpi.f
+                    gpi_iterations = gpi.n_iter
+                    f_span.set(gpi_iterations=gpi.n_iter)
+                else:
+                    _, f = eigsh_smallest(fused_lap, c)
+            block_seconds["f_step"] = time.perf_counter() - tick
             # R-step: orthogonal Procrustes.
-            r = nearest_orthogonal(f.T @ g)
+            tick = time.perf_counter()
+            with span("r_step", iteration=n_iter):
+                r = nearest_orthogonal(f.T @ g)
+            block_seconds["r_step"] = time.perf_counter() - tick
             # Y-step: exact coordinate descent on the scaled-indicator gain.
-            labels = indicator_coordinate_descent(f @ r, labels, c)
             # Restarted (R, Y)-step: also try fresh rotations on the current
             # embedding and keep the better pair.  Accept-only-if-better, so
             # the joint objective still descends monotonically.  Only the
             # early iterations benefit (labels are still mobile); skipping
             # it later keeps the per-iteration cost near the plain
             # spectral pipeline's.
-            if n_iter <= 2:
-                r, labels = self._best_rotation_pair(f, r, labels, c, rng)
+            labels_before = labels
+            tick = time.perf_counter()
+            with span("y_step", iteration=n_iter) as y_span:
+                labels = indicator_coordinate_descent(f @ r, labels, c)
+                if n_iter <= 2:
+                    r, labels = self._best_rotation_pair(f, r, labels, c, rng)
+                label_moves = int(np.count_nonzero(labels != labels_before))
+                y_span.set(label_moves=label_moves)
+            block_seconds["y_step"] = time.perf_counter() - tick
+            # The monotone F/R/Y block descent applies to the objective
+            # under the weights the blocks just descended, so that value
+            # is recorded before the w-step rebuilds the fused operator.
+            tick = time.perf_counter()
+            with span("objective", iteration=n_iter):
+                obj_pre = umsc_objective(
+                    fused_lap, f, r, scaled_indicator(labels, c), lam=cfg.lam
+                )
+            block_seconds["objective"] = time.perf_counter() - tick
             # w-step: IRLS reweighting from the per-view costs (spectral
             # cost plus consensus disagreement, both non-negative).
-            h = spectral_costs(view_laplacians, f)
-            if cfg.consensus > 0:
-                disagreement = np.array(
-                    [c - float(np.sum((u.T @ f) ** 2)) for u in view_bases]
-                )
-                h = h + cfg.consensus * np.maximum(disagreement, 0.0)
-            w = update_view_weights(h, mode=cfg.weighting, gamma=cfg.gamma)
-            fused_lap = self._fused_operator(affinities, view_bases, w)
+            tick = time.perf_counter()
+            with span("w_step", iteration=n_iter):
+                h = spectral_costs(view_laplacians, f)
+                if cfg.consensus > 0:
+                    disagreement = np.array(
+                        [c - float(np.sum((u.T @ f) ** 2)) for u in view_bases]
+                    )
+                    h = h + cfg.consensus * np.maximum(disagreement, 0.0)
+                w = update_view_weights(h, mode=cfg.weighting, gamma=cfg.gamma)
+                fused_lap = self._fused_operator(affinities, view_bases, w)
+            block_seconds["w_step"] = time.perf_counter() - tick
 
-            obj = umsc_objective(
-                fused_lap, f, r, scaled_indicator(labels, c), lam=cfg.lam
+            tick = time.perf_counter()
+            with span("objective", iteration=n_iter):
+                obj = umsc_objective(
+                    fused_lap, f, r, scaled_indicator(labels, c), lam=cfg.lam
+                )
+            block_seconds["objective"] += time.perf_counter() - tick
+            scale = max(abs(obj), 1.0)
+            rel_change = (
+                abs(prev - obj) / scale if np.isfinite(prev) else None
             )
+            if history:
+                tol_band = cfg.tol * max(abs(history[-1]), 1.0)
+                if obj_pre > history[-1] + tol_band:
+                    warnings.warn(
+                        f"UnifiedMVSC objective increased at iteration "
+                        f"{n_iter} before reweighting "
+                        f"({history[-1]:.6g} -> {obj_pre:.6g}): the "
+                        f"monotone F/R/Y block descent was violated",
+                        MonotonicityWarning,
+                        stacklevel=2,
+                    )
+                elif obj > history[-1] + tol_band:
+                    warnings.warn(
+                        f"UnifiedMVSC recorded objective increased at "
+                        f"iteration {n_iter} ({history[-1]:.6g} -> "
+                        f"{obj:.6g}) due to the w-step reweighting; the "
+                        f"pre-reweighting value {obj_pre:.6g} still "
+                        f"descended (see result.diagnostics)",
+                        MonotonicityWarning,
+                        stacklevel=2,
+                    )
             history.append(obj)
-            if abs(prev - obj) <= cfg.tol * max(abs(obj), 1.0):
+            event = IterationEvent(
+                solver=type(self).__name__,
+                iteration=n_iter,
+                objective=obj,
+                objective_pre_reweight=obj_pre,
+                rel_change=rel_change,
+                block_seconds=block_seconds,
+                gpi_iterations=gpi_iterations,
+                label_moves=label_moves,
+                view_weights=tuple(float(x) for x in w),
+            )
+            events.append(event)
+            dispatch_event(self.callbacks, "on_iteration", event)
+            if abs(prev - obj) <= cfg.tol * scale:
                 converged = True
                 break
             prev = obj
 
+        dispatch_event(
+            self.callbacks,
+            "on_fit_end",
+            {
+                "solver": type(self).__name__,
+                "n_iter": n_iter,
+                "converged": converged,
+                "objective": history[-1] if history else float("nan"),
+            },
+        )
         if not converged:
+            last_rel = "n/a" if rel_change is None else f"{rel_change:.3e}"
             warnings.warn(
                 f"UnifiedMVSC stopped after max_iter={cfg.max_iter} without "
-                f"meeting tol={cfg.tol}",
+                f"meeting tol={cfg.tol}: last relative objective change "
+                f"{last_rel}, last objective "
+                f"{history[-1] if history else float('nan'):.6g}",
                 ConvergenceWarning,
                 stacklevel=2,
             )
@@ -268,6 +398,7 @@ class UnifiedMVSC:
             objective_history=history,
             n_iter=n_iter,
             converged=converged,
+            diagnostics=FitDiagnostics(events=tuple(events)),
         )
 
     @staticmethod

@@ -6,8 +6,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.observability.events import FitDiagnostics
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, repr=False)
 class UMSCResult:
     """Everything a UMSC fit produces.
 
@@ -31,6 +33,12 @@ class UMSCResult:
         Outer iterations performed.
     converged : bool
         Whether the relative objective change fell below tolerance.
+    diagnostics : FitDiagnostics or None
+        Per-iteration instrumentation record (one
+        :class:`~repro.observability.events.IterationEvent` per outer
+        iteration: per-block wall-times, pre-reweighting objective, GPI
+        inner iterations, label moves, view weights).  Always recorded
+        by :class:`~repro.core.model.UnifiedMVSC`.
     """
 
     labels: np.ndarray
@@ -41,8 +49,20 @@ class UMSCResult:
     objective_history: list = field(default_factory=list)
     n_iter: int = 0
     converged: bool = False
+    diagnostics: FitDiagnostics | None = None
 
     @property
     def objective(self) -> float:
         """Final objective value."""
         return self.objective_history[-1] if self.objective_history else float("nan")
+
+    def __repr__(self) -> str:
+        weights = "[" + ", ".join(
+            f"{float(w):.3f}" for w in np.asarray(self.view_weights).ravel()
+        ) + "]"
+        return (
+            f"{type(self).__name__}(n_samples={self.labels.shape[0]}, "
+            f"n_clusters={self.indicator.shape[1]}, "
+            f"n_iter={self.n_iter}, converged={self.converged}, "
+            f"objective={self.objective:.6g}, view_weights={weights})"
+        )

@@ -14,6 +14,8 @@ spectral-rotation end of the framework.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core.discrete import (
@@ -26,6 +28,8 @@ from repro.exceptions import ValidationError
 from repro.graph.sparse import sparse_knn_affinity, sparse_laplacian
 from repro.linalg.eigen import eigsh_smallest
 from repro.linalg.procrustes import nearest_orthogonal
+from repro.observability.events import IterationEvent, dispatch_event
+from repro.observability.trace import span
 from repro.utils.rng import check_random_state
 from repro.utils.validation import check_views
 
@@ -50,6 +54,10 @@ class SparseMVSC:
     block : int
         Query block size for graph construction (memory knob).
     random_state : int, Generator, or None
+    callbacks : sequence of FitCallback, optional
+        Listeners receiving one :class:`~repro.observability.events.
+        IterationEvent` per outer iteration (see
+        :mod:`repro.observability`).
     """
 
     def __init__(
@@ -63,6 +71,7 @@ class SparseMVSC:
         n_restarts: int = 10,
         block: int = 512,
         random_state=None,
+        callbacks=(),
     ) -> None:
         if n_clusters < 1:
             raise ValidationError(f"n_clusters must be >= 1, got {n_clusters}")
@@ -78,6 +87,15 @@ class SparseMVSC:
         self.n_restarts = int(n_restarts)
         self.block = int(block)
         self.random_state = random_state
+        self.callbacks = tuple(callbacks)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(n_clusters={self.n_clusters}, "
+            f"n_neighbors={self.n_neighbors}, gamma={self.gamma}, "
+            f"weighting={self.weighting!r}, max_iter={self.max_iter}, "
+            f"n_restarts={self.n_restarts}, block={self.block})"
+        )
 
     def fit_predict(self, views) -> np.ndarray:
         """Cluster raw multi-view features with sparse graphs throughout."""
@@ -88,39 +106,85 @@ class SparseMVSC:
             raise ValidationError(f"n_clusters={c} exceeds n_samples={n}")
         rng = check_random_state(self.random_state)
 
-        affinities = [
-            sparse_knn_affinity(x, k=self.n_neighbors, block=self.block)
-            for x in views
-        ]
-        laplacians = [sparse_laplacian(w) for w in affinities]
+        dispatch_event(
+            self.callbacks,
+            "on_fit_start",
+            {
+                "solver": type(self).__name__,
+                "n_samples": n,
+                "n_views": len(views),
+                "n_clusters": c,
+            },
+        )
+        with span("graph_build", n_views=len(views), k=self.n_neighbors):
+            affinities = [
+                sparse_knn_affinity(x, k=self.n_neighbors, block=self.block)
+                for x in views
+            ]
+            laplacians = [sparse_laplacian(w) for w in affinities]
         n_views = len(affinities)
 
         w = np.full(n_views, 1.0 / n_views)
         labels = None
-        for _ in range(self.max_iter):
-            multipliers = weight_exponents(w, mode=self.weighting, gamma=self.gamma)
-            multipliers = multipliers / np.sum(multipliers)
-            fused = multipliers[0] * affinities[0]
-            for m_v, w_mat in zip(multipliers[1:], affinities[1:]):
-                fused = fused + m_v * w_mat
-            fused_lap = sparse_laplacian(fused.tocsr())
-            _, f = eigsh_smallest(fused_lap, c)
-            if labels is None:
-                rot, labels = rotation_initialize(
-                    f, c, n_restarts=self.n_restarts, random_state=rng
+        n_iter = 0
+        for n_iter in range(1, self.max_iter + 1):
+            block_seconds: dict[str, float] = {}
+            tick = time.perf_counter()
+            with span("f_step", iteration=n_iter):
+                multipliers = weight_exponents(
+                    w, mode=self.weighting, gamma=self.gamma
                 )
-            else:
-                rot = nearest_orthogonal(f.T @ scaled_indicator(labels, c))
-                labels = indicator_coordinate_descent(f @ rot, labels, c)
-            h = np.array(
-                [float(np.sum(f * (lap @ f))) for lap in laplacians]
+                multipliers = multipliers / np.sum(multipliers)
+                fused = multipliers[0] * affinities[0]
+                for m_v, w_mat in zip(multipliers[1:], affinities[1:]):
+                    fused = fused + m_v * w_mat
+                fused_lap = sparse_laplacian(fused.tocsr())
+                _, f = eigsh_smallest(fused_lap, c)
+            block_seconds["f_step"] = time.perf_counter() - tick
+            labels_before = labels
+            tick = time.perf_counter()
+            with span("y_step", iteration=n_iter):
+                if labels is None:
+                    rot, labels = rotation_initialize(
+                        f, c, n_restarts=self.n_restarts, random_state=rng
+                    )
+                else:
+                    rot = nearest_orthogonal(f.T @ scaled_indicator(labels, c))
+                    labels = indicator_coordinate_descent(f @ rot, labels, c)
+            block_seconds["y_step"] = time.perf_counter() - tick
+            label_moves = (
+                None
+                if labels_before is None
+                else int(np.count_nonzero(labels != labels_before))
             )
-            new_w = update_view_weights(
-                np.maximum(h, 0.0), mode=self.weighting, gamma=self.gamma
-            )
-            if np.allclose(new_w, w, atol=1e-10):
-                w = new_w
-                break
+            tick = time.perf_counter()
+            with span("w_step", iteration=n_iter):
+                h = np.array(
+                    [float(np.sum(f * (lap @ f))) for lap in laplacians]
+                )
+                new_w = update_view_weights(
+                    np.maximum(h, 0.0), mode=self.weighting, gamma=self.gamma
+                )
+            block_seconds["w_step"] = time.perf_counter() - tick
+            weights_converged = np.allclose(new_w, w, atol=1e-10)
             w = new_w
+            dispatch_event(
+                self.callbacks,
+                "on_iteration",
+                IterationEvent(
+                    solver=type(self).__name__,
+                    iteration=n_iter,
+                    block_seconds=block_seconds,
+                    label_moves=label_moves,
+                    view_weights=tuple(float(x) for x in w),
+                ),
+            )
+            if weights_converged:
+                break
+        dispatch_event(
+            self.callbacks,
+            "on_fit_end",
+            {"solver": type(self).__name__, "n_iter": n_iter},
+        )
         assert labels is not None
         return labels

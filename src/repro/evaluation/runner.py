@@ -4,6 +4,11 @@ The paper's tables report ``mean ± std`` over repeated runs.  The runner
 re-runs each method with independent seeds derived from one master seed
 (dataset fixed, algorithmic randomness varying — the literature's protocol)
 and aggregates every metric.
+
+Each run executes inside its own :class:`~repro.observability.trace.
+Trace`, so :class:`MethodScores` also aggregates the *per-phase* timing
+breakdown (graph build / eigensolve / GPI / Y-step / ...), not just
+total seconds — the data the paper-style runtime analyses need.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from repro.datasets.container import MultiViewDataset
 from repro.evaluation.registry import MethodSpec, default_method_registry
 from repro.exceptions import ValidationError
 from repro.metrics import METRICS, evaluate_clustering
+from repro.observability.trace import Trace, use_trace
 from repro.utils.rng import spawn_seeds
 
 
@@ -40,13 +46,19 @@ class AggregatedScore:
 
 @dataclass
 class MethodScores:
-    """All aggregated metrics (plus timing) for one method on one dataset."""
+    """All aggregated metrics (plus timing) for one method on one dataset.
+
+    ``phase_seconds`` maps span names (``"graph_build"``, ``"f_step"``,
+    ...) to :class:`AggregatedScore` over the repeated runs; it is empty
+    when phase collection was disabled.
+    """
 
     method: str
     dataset: str
     scores: dict = field(default_factory=dict)
     seconds: AggregatedScore | None = None
     n_runs: int = 0
+    phase_seconds: dict = field(default_factory=dict)
 
 
 def run_method_once(
@@ -55,12 +67,20 @@ def run_method_once(
     seed: int,
     *,
     metrics=("acc", "nmi", "purity"),
+    trace: "Trace | None" = None,
 ) -> tuple[dict, float]:
     """One seeded run of one method; returns (metric dict, seconds).
 
     Oracle rows (``SC_best`` / ``SC_worst``) cluster every view and take
     the per-metric best/worst, matching the literature's reporting.
+
+    Parameters other than ``trace`` match the experiment protocol;
+    passing a :class:`~repro.observability.trace.Trace` activates it for
+    the duration of the run, so its spans/events/sinks observe the fit.
     """
+    if trace is not None:
+        with use_trace(trace):
+            return run_method_once(spec, dataset, seed, metrics=metrics)
     start = time.perf_counter()
     if spec.oracle is not None:
         per_view = all_single_view_labels(
@@ -95,6 +115,7 @@ def run_experiment(
     n_runs: int = 10,
     metrics=("acc", "nmi", "purity"),
     base_seed: int = 0,
+    collect_phases: bool = True,
 ) -> dict:
     """Run every requested method ``n_runs`` times on one dataset.
 
@@ -110,6 +131,10 @@ def run_experiment(
         Metric names from :data:`repro.metrics.METRICS`.
     base_seed : int
         Master seed from which per-run seeds are derived.
+    collect_phases : bool
+        Run every fit inside a fresh trace and aggregate the per-phase
+        timing breakdown into ``MethodScores.phase_seconds`` (negligible
+        overhead; results are unaffected by tracing).
 
     Returns
     -------
@@ -135,13 +160,17 @@ def run_experiment(
         spec = registry[name]
         per_metric: dict[str, list] = {m: [] for m in metrics}
         times: list[float] = []
+        phase_runs: list[dict] = []
         for seed in seeds:
+            trace = Trace(f"{name}:{dataset.name}") if collect_phases else None
             run_scores, elapsed = run_method_once(
-                spec, dataset, seed, metrics=metrics
+                spec, dataset, seed, metrics=metrics, trace=trace
             )
             for m in metrics:
                 per_metric[m].append(run_scores[m])
             times.append(elapsed)
+            if trace is not None:
+                phase_runs.append(trace.phase_totals())
         results[name] = MethodScores(
             method=name,
             dataset=dataset.name,
@@ -151,5 +180,26 @@ def run_experiment(
             },
             seconds=AggregatedScore.from_values(times),
             n_runs=n_runs,
+            phase_seconds=_aggregate_phases(phase_runs),
         )
     return results
+
+
+def _aggregate_phases(phase_runs) -> dict:
+    """Aggregate per-run ``{phase: seconds}`` dicts across seeds.
+
+    Phases missing from a run (e.g. a solver converged before reaching
+    a block) contribute 0.0, so every
+    :class:`AggregatedScore` spans the same number of runs.
+    """
+    names: list[str] = []
+    for run in phase_runs:
+        for name in run:
+            if name not in names:
+                names.append(name)
+    return {
+        name: AggregatedScore.from_values(
+            [run.get(name, 0.0) for run in phase_runs]
+        )
+        for name in names
+    }

@@ -9,15 +9,22 @@ from dataclasses import dataclass, field
 from repro.datasets.container import MultiViewDataset
 from repro.exceptions import ValidationError
 from repro.metrics import evaluate_clustering
+from repro.observability.trace import Trace, use_trace
 
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One grid point: the parameter assignment and its metric values."""
+    """One grid point: the parameter assignment and its metric values.
+
+    ``phase_seconds`` carries the per-phase timing breakdown of the
+    point's fit (span name -> seconds), recorded through a per-point
+    trace.
+    """
 
     params: dict
     scores: dict
     seconds: float
+    phase_seconds: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -75,13 +82,20 @@ def grid_sweep(
     for combo in itertools.product(*(grid[name] for name in names)):
         params = dict(zip(names, combo))
         model = build(random_state=random_state, **params)
+        trace = Trace(f"sweep:{dataset.name}")
         start = time.perf_counter()
-        labels = model.fit_predict(dataset.views)
+        with use_trace(trace):
+            labels = model.fit_predict(dataset.views)
         elapsed = time.perf_counter() - start
         scores = evaluate_clustering(
             dataset.labels, labels, metrics=tuple(metrics)
         )
         result.points.append(
-            SweepPoint(params=params, scores=scores, seconds=elapsed)
+            SweepPoint(
+                params=params,
+                scores=scores,
+                seconds=elapsed,
+                phase_seconds=trace.phase_totals(),
+            )
         )
     return result

@@ -28,5 +28,17 @@ class ConvergenceWarning(UserWarning):
     """Warning emitted when an iterative solver stops before converging."""
 
 
+class MonotonicityWarning(ConvergenceWarning):
+    """Warning emitted when a recorded objective increases beyond tolerance.
+
+    The F/R/Y blocks of the unified solver descend the objective
+    monotonically for fixed view weights; the w-step's reweighting can
+    legitimately perturb the *recorded* (post-reweighting) value, and a
+    genuine increase of the pre-reweighting value signals numerical
+    trouble (the :class:`NumericalError` family's warning counterpart).
+    Subclasses :class:`ConvergenceWarning` so existing filters cover it.
+    """
+
+
 class DatasetError(ReproError, KeyError):
     """Raised when a dataset name is unknown or a dataset file is malformed."""

@@ -15,6 +15,7 @@ import scipy.sparse
 import scipy.sparse.linalg
 
 from repro.exceptions import NumericalError, ValidationError
+from repro.observability.trace import metric_inc, span
 from repro.utils.validation import check_square
 
 #: Above this dimension, prefer Lanczos when k << n and the matrix is sparse.
@@ -65,14 +66,18 @@ def eigsh_smallest(a, k: int) -> tuple[np.ndarray, np.ndarray]:
         _validate_k(n, k)
         if k >= n - 1 or n <= _DENSE_CUTOFF:
             return eigsh_smallest(np.asarray(a.todense()), k)
-        values, vectors = scipy.sparse.linalg.eigsh(a, k=k, which="SA")
+        metric_inc("eigsh.calls")
+        with span("eigsh", n=n, k=k, which="smallest", path="lanczos"):
+            values, vectors = scipy.sparse.linalg.eigsh(a, k=k, which="SA")
         order = np.argsort(values)
         return values[order], vectors[:, order]
     a = check_square(a, "a")
     n = a.shape[0]
     _validate_k(n, k)
     a = (a + a.T) / 2.0
-    values, vectors = scipy.linalg.eigh(a, subset_by_index=(0, k - 1))
+    metric_inc("eigsh.calls")
+    with span("eigsh", n=n, k=k, which="smallest", path="dense"):
+        values, vectors = scipy.linalg.eigh(a, subset_by_index=(0, k - 1))
     if not np.all(np.isfinite(values)):
         raise NumericalError("eigendecomposition produced non-finite eigenvalues")
     return values, vectors
@@ -91,14 +96,18 @@ def eigsh_largest(a, k: int) -> tuple[np.ndarray, np.ndarray]:
         _validate_k(n, k)
         if k >= n - 1 or n <= _DENSE_CUTOFF:
             return eigsh_largest(np.asarray(a.todense()), k)
-        values, vectors = scipy.sparse.linalg.eigsh(a, k=k, which="LA")
+        metric_inc("eigsh.calls")
+        with span("eigsh", n=n, k=k, which="largest", path="lanczos"):
+            values, vectors = scipy.sparse.linalg.eigsh(a, k=k, which="LA")
         order = np.argsort(values)[::-1]
         return values[order], vectors[:, order]
     a = check_square(a, "a")
     n = a.shape[0]
     _validate_k(n, k)
     a = (a + a.T) / 2.0
-    values, vectors = scipy.linalg.eigh(a, subset_by_index=(n - k, n - 1))
+    metric_inc("eigsh.calls")
+    with span("eigsh", n=n, k=k, which="largest", path="dense"):
+        values, vectors = scipy.linalg.eigh(a, subset_by_index=(n - k, n - 1))
     if not np.all(np.isfinite(values)):
         raise NumericalError("eigendecomposition produced non-finite eigenvalues")
     return values[::-1], vectors[:, ::-1]

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.exceptions import NumericalError, ValidationError
 from repro.linalg.procrustes import nearest_orthogonal
+from repro.observability.trace import metric_observe, span
 from repro.utils.validation import check_matrix, check_symmetric
 
 
@@ -122,18 +123,21 @@ def gpi_stiefel(
     prev = _qpoc_objective(a, b, f)
     converged = False
     n_iter = 0
-    for n_iter in range(1, max_iter + 1):
-        m = 2.0 * (shifted @ f) + 2.0 * b
-        if not np.all(np.isfinite(m)):
-            raise NumericalError("GPI produced non-finite iterate")
-        f = nearest_orthogonal(m)
-        obj = _qpoc_objective(a, b, f)
-        history.append(obj)
-        denom = max(abs(prev), 1e-12)
-        if abs(prev - obj) / denom < tol:
-            converged = True
-            break
-        prev = obj
+    with span("gpi", n=n, k=k) as gpi_span:
+        for n_iter in range(1, max_iter + 1):
+            m = 2.0 * (shifted @ f) + 2.0 * b
+            if not np.all(np.isfinite(m)):
+                raise NumericalError("GPI produced non-finite iterate")
+            f = nearest_orthogonal(m)
+            obj = _qpoc_objective(a, b, f)
+            history.append(obj)
+            denom = max(abs(prev), 1e-12)
+            if abs(prev - obj) / denom < tol:
+                converged = True
+                break
+            prev = obj
+        gpi_span.set(n_iter=n_iter, converged=converged)
+    metric_observe("gpi.inner_iterations", n_iter)
 
     return GPIResult(
         f=f,

@@ -1,0 +1,69 @@
+"""Solver instrumentation: traces, per-block timings, iteration diagnostics.
+
+The paper's headline claims — monotone one-stage descent at a cost
+comparable to the two-stage pipeline — are only checkable with
+per-iteration data.  This subsystem provides it in three layers:
+
+* :mod:`repro.observability.trace` — a span/timer API with a
+  contextvar-scoped active trace and a true no-op fast path when
+  disabled, so the solver hot paths can stay instrumented permanently;
+* :mod:`repro.observability.metrics` — a counters/histograms registry
+  attached to every trace (GPI inner iterations, Y-step moves,
+  eigensolver calls);
+* :mod:`repro.observability.events` / :mod:`repro.observability.sinks`
+  — a :class:`FitCallback` protocol carrying one structured
+  :class:`IterationEvent` per outer solver iteration, with pluggable
+  sinks (in-memory recorder, JSONL file writer, stdlib-``logging``).
+
+Tracing is **off by default** and observably zero-impact on results:
+with no active trace every ``span(...)`` returns a shared no-op handle,
+and fitted labels / objective histories are bit-identical with tracing
+on or off (a tier-1 regression test asserts this).
+
+See ``docs/observability.md`` for the span API, the event schema, sink
+configuration, and how to read a profile.
+"""
+
+from repro.observability.events import (
+    FitCallback,
+    FitDiagnostics,
+    IterationEvent,
+    dispatch_event,
+)
+from repro.observability.metrics import Counter, Histogram, MetricsRegistry
+from repro.observability.sinks import (
+    JsonlSink,
+    LoggingSink,
+    TraceRecorder,
+    read_jsonl,
+)
+from repro.observability.trace import (
+    SpanRecord,
+    Trace,
+    current_trace,
+    metric_inc,
+    metric_observe,
+    span,
+    use_trace,
+)
+
+__all__ = [
+    "Counter",
+    "FitCallback",
+    "FitDiagnostics",
+    "Histogram",
+    "IterationEvent",
+    "JsonlSink",
+    "LoggingSink",
+    "MetricsRegistry",
+    "SpanRecord",
+    "Trace",
+    "TraceRecorder",
+    "current_trace",
+    "dispatch_event",
+    "metric_inc",
+    "metric_observe",
+    "read_jsonl",
+    "span",
+    "use_trace",
+]

@@ -1,0 +1,126 @@
+"""Counters and histograms for solver-internal quantities.
+
+A :class:`MetricsRegistry` travels with every
+:class:`~repro.observability.trace.Trace`; instrumented code records
+into it through the module-level helpers
+:func:`~repro.observability.trace.metric_inc` /
+:func:`~repro.observability.trace.metric_observe`, which are no-ops
+while tracing is disabled.  Typical series: GPI inner-iteration counts,
+Y-step label moves per sweep, eigensolver invocations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ValidationError
+
+
+@dataclass
+class Counter:
+    """A monotone sum of non-negative increments.
+
+    Examples
+    --------
+    >>> c = Counter("eigh.calls")
+    >>> c.inc(); c.inc(2.0)
+    >>> c.value
+    3.0
+    """
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the running total."""
+        if amount < 0:
+            raise ValidationError(
+                f"counter increment must be >= 0, got {amount}"
+            )
+        self.value += float(amount)
+
+
+@dataclass
+class Histogram:
+    """Streaming summary (count / sum / min / max) of observed values.
+
+    Stores every observation — solver traces observe once per (inner)
+    iteration, so the series stays small — which lets sinks export the
+    full distribution, not just moments.
+
+    Examples
+    --------
+    >>> h = Histogram("gpi.inner_iterations")
+    >>> for v in (3, 5, 4):
+    ...     h.observe(v)
+    >>> h.count, h.total, h.min, h.max
+    (3, 12.0, 3.0, 5.0)
+    """
+
+    name: str
+    values: list = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        """Sum of observations."""
+        return float(sum(self.values))
+
+    @property
+    def min(self) -> float:
+        """Smallest observation (``nan`` when empty)."""
+        return float(min(self.values)) if self.values else float("nan")
+
+    @property
+    def max(self) -> float:
+        """Largest observation (``nan`` when empty)."""
+        return float(max(self.values)) if self.values else float("nan")
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (``nan`` when empty)."""
+        return self.total / self.count if self.values else float("nan")
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named counters and histograms."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered under ``name`` (created on first use)."""
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(name)
+        return self.histograms[name]
+
+    def snapshot(self) -> dict:
+        """JSON-ready ``{"counters": {...}, "histograms": {...}}`` dump."""
+        return {
+            "counters": {n: c.value for n, c in self.counters.items()},
+            "histograms": {
+                n: {
+                    "count": h.count,
+                    "total": h.total,
+                    "min": h.min,
+                    "max": h.max,
+                    "mean": h.mean,
+                }
+                for n, h in self.histograms.items()
+            },
+        }

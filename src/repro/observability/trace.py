@@ -1,0 +1,256 @@
+"""Span/timer tracing with a contextvar-scoped active trace.
+
+Instrumented code brackets regions with :func:`span`; while no trace is
+active (the default) ``span`` returns one shared no-op handle, so the
+hot paths pay a single contextvar lookup and nothing else.  Activating
+a :class:`Trace` with :func:`use_trace` turns the same call sites into
+real timers whose completed :class:`SpanRecord` entries accumulate on
+the trace and stream to its sinks.
+
+Spans nest: a span opened while another is running records the parent's
+name and its own depth, so a profile can distinguish the ``f_step``
+wall-time from the ``gpi`` solver time spent inside it.
+
+Examples
+--------
+>>> from repro.observability.trace import Trace, span, use_trace
+>>> with use_trace(Trace("demo")) as trace:
+...     with span("outer"):
+...         with span("inner", k=3):
+...             pass
+>>> [(s.name, s.depth, s.parent) for s in trace.spans]
+[('inner', 1, 'outer'), ('outer', 0, None)]
+>>> trace.spans[0].attributes
+{'k': 3}
+>>> span("outside") is span("any other name")  # disabled: shared no-op
+True
+"""
+
+from __future__ import annotations
+
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+
+from repro.observability.metrics import MetricsRegistry
+
+_ACTIVE: ContextVar["Trace | None"] = ContextVar(
+    "repro_active_trace", default=None
+)
+
+
+@dataclass
+class SpanRecord:
+    """One completed timed region of a trace.
+
+    Attributes
+    ----------
+    name : str
+        Stable phase key (e.g. ``"f_step"``, ``"gpi"``); totals are
+        aggregated per name.
+    start : float
+        ``time.perf_counter()`` at entry (process-local clock).
+    duration : float
+        Wall-clock seconds spent inside the region.
+    depth : int
+        Nesting depth at entry (0 = top level).
+    parent : str or None
+        Name of the enclosing span, if any.
+    attributes : dict
+        Free-form JSON-ready annotations (iteration index, problem
+        sizes, inner-iteration counts, ...).
+    """
+
+    name: str
+    start: float = 0.0
+    duration: float = 0.0
+    depth: int = 0
+    parent: str | None = None
+    attributes: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (used by the JSONL sink)."""
+        return {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "depth": self.depth,
+            "parent": self.parent,
+            "attributes": dict(self.attributes),
+        }
+
+
+class _NoopSpan:
+    """Shared do-nothing span handle returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def set(self, **attributes):
+        """Ignore attributes; return self for chaining."""
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+#: The singleton handle every ``span(...)`` call returns when disabled.
+NOOP_SPAN = _NoopSpan()
+
+
+class _LiveSpan:
+    """Context manager timing one region of the active trace."""
+
+    __slots__ = ("_trace", "record")
+
+    def __init__(self, trace: "Trace", name: str, attributes: dict) -> None:
+        self._trace = trace
+        self.record = SpanRecord(name=name, attributes=attributes)
+
+    def set(self, **attributes):
+        """Attach/overwrite attributes on the underlying record."""
+        self.record.attributes.update(attributes)
+        return self
+
+    def __enter__(self):
+        stack = self._trace._stack
+        self.record.depth = len(stack)
+        if stack:
+            self.record.parent = stack[-1].name
+        stack.append(self.record)
+        self.record.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self.record.duration = time.perf_counter() - self.record.start
+        self._trace._stack.pop()
+        self._trace._finish(self.record)
+        return False
+
+
+class Trace:
+    """A recording session: completed spans, iteration events, metrics.
+
+    Parameters
+    ----------
+    name : str
+        Label for the session (shows up in sink output).
+    sinks : sequence
+        Objects implementing any subset of the
+        :class:`~repro.observability.events.FitCallback` protocol plus
+        the optional ``on_span(record)`` / ``close()`` hooks; completed
+        spans and emitted events stream to every sink.
+    """
+
+    def __init__(self, name: str = "trace", sinks=()) -> None:
+        self.name = name
+        self.sinks = list(sinks)
+        self.spans: list[SpanRecord] = []
+        self.events: list = []
+        self.metrics = MetricsRegistry()
+        self._stack: list[SpanRecord] = []
+
+    def _finish(self, record: SpanRecord) -> None:
+        self.spans.append(record)
+        for sink in self.sinks:
+            on_span = getattr(sink, "on_span", None)
+            if on_span is not None:
+                on_span(record)
+
+    def emit(self, event) -> None:
+        """Record one iteration event and forward it to every sink."""
+        self.events.append(event)
+        for sink in self.sinks:
+            on_iteration = getattr(sink, "on_iteration", None)
+            if on_iteration is not None:
+                on_iteration(event)
+
+    def phase_stats(self) -> dict:
+        """``{span name: (count, total seconds)}`` over completed spans.
+
+        Nested spans are counted under their own names (``gpi`` time is
+        also inside ``f_step`` time); compare like-depth names when
+        summing to a total.
+        """
+        stats: dict[str, tuple[int, float]] = {}
+        for s in self.spans:
+            count, total = stats.get(s.name, (0, 0.0))
+            stats[s.name] = (count + 1, total + s.duration)
+        return stats
+
+    def phase_totals(self) -> dict:
+        """``{span name: total seconds}`` over completed spans."""
+        return {name: total for name, (_, total) in self.phase_stats().items()}
+
+    def close(self) -> None:
+        """Flush and close every sink that supports ``close()``."""
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+
+def current_trace() -> Trace | None:
+    """The trace active in this context, or ``None`` (the default)."""
+    return _ACTIVE.get()
+
+
+def span(name: str, **attributes):
+    """Bracket a timed region of the active trace.
+
+    Returns a context manager; with no active trace this is the shared
+    no-op handle :data:`NOOP_SPAN` (nothing is recorded, overhead is one
+    contextvar lookup).  The returned handle's ``set(**attrs)`` attaches
+    annotations discovered mid-region (inner iteration counts, ...).
+    """
+    trace = _ACTIVE.get()
+    if trace is None:
+        return NOOP_SPAN
+    return _LiveSpan(trace, name, dict(attributes))
+
+
+def metric_inc(name: str, amount: float = 1.0) -> None:
+    """Increment counter ``name`` on the active trace (no-op if none)."""
+    trace = _ACTIVE.get()
+    if trace is not None:
+        trace.metrics.counter(name).inc(amount)
+
+
+def metric_observe(name: str, value: float) -> None:
+    """Observe ``value`` in histogram ``name`` on the active trace."""
+    trace = _ACTIVE.get()
+    if trace is not None:
+        trace.metrics.histogram(name).observe(value)
+
+
+class use_trace:
+    """Context manager activating ``trace`` for the enclosed block.
+
+    On exit the previous active trace (usually none) is restored and the
+    trace's sinks are flushed/closed; the trace object itself stays
+    readable (``spans`` / ``events`` / ``phase_totals()``).
+
+    Examples
+    --------
+    >>> from repro.observability.trace import Trace, current_trace, use_trace
+    >>> with use_trace(Trace("t")) as t:
+    ...     current_trace() is t
+    True
+    >>> current_trace() is None
+    True
+    """
+
+    def __init__(self, trace: Trace) -> None:
+        self.trace = trace
+        self._token = None
+
+    def __enter__(self) -> Trace:
+        self._token = _ACTIVE.set(self.trace)
+        return self.trace
+
+    def __exit__(self, *exc) -> bool:
+        _ACTIVE.reset(self._token)
+        self.trace.close()
+        return False
