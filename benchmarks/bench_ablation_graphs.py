@@ -8,6 +8,10 @@ family's default choice), and extreme ``k`` degrades accuracy.
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.slow  # full protocol; deselect with -m "not slow"
+
 from _config import bench_datasets, get_dataset
 
 from repro.core import UnifiedMVSC

@@ -9,6 +9,10 @@ pure discretization ablation.
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.slow  # full protocol; deselect with -m "not slow"
+
 import numpy as np
 from _config import bench_datasets, bench_runs, get_dataset
 

@@ -8,6 +8,10 @@ do not.  This bench quantifies it with the mean pairwise ARI between runs
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.slow  # full protocol; deselect with -m "not slow"
+
 from _config import bench_datasets, bench_runs, get_dataset
 
 from repro.core import TwoStageMVSC

@@ -9,6 +9,10 @@ weights order the views by quality.
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.slow  # full protocol; deselect with -m "not slow"
+
 import numpy as np
 
 from repro.core import UnifiedMVSC

@@ -10,6 +10,10 @@ accuracy stays in the same band.
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.slow  # full protocol; deselect with -m "not slow"
+
 import time
 
 from repro.core import UnifiedMVSC

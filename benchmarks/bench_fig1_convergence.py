@@ -9,6 +9,10 @@ descent, convergence well before the iteration cap.
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.slow  # full protocol; deselect with -m "not slow"
+
 from _config import bench_datasets, get_dataset
 
 from repro.evaluation.curves import convergence_curve, sparkline

@@ -9,6 +9,10 @@ small, and the best point is not at the grid's extreme corners only.
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.slow  # full protocol; deselect with -m "not slow"
+
 import numpy as np
 from _config import bench_datasets, get_dataset
 

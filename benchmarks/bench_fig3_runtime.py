@@ -11,10 +11,14 @@ from __future__ import annotations
 
 import time
 
+import numpy as np
+import pytest
+
 from repro.baselines import AMGL, CoRegSC, KernelAdditionSC
 from repro.core import TwoStageMVSC, UnifiedMVSC
 from repro.datasets import make_multiview_blobs
 from repro.evaluation.tables import format_rows
+from repro.pipeline import ComputationCache, use_cache
 
 SIZES = (150, 300, 600)
 
@@ -50,6 +54,7 @@ def measure_runtimes() -> dict:
     return out
 
 
+@pytest.mark.slow
 def test_fig3_runtime_prints(capsys, benchmark):
     times = benchmark.pedantic(measure_runtimes, rounds=1, iterations=1)
     rows = [
@@ -69,6 +74,7 @@ def test_fig3_runtime_prints(capsys, benchmark):
         assert times[name][SIZES[-1]] > times[name][SIZES[0]] * 0.5
 
 
+@pytest.mark.slow
 def test_benchmark_umsc_medium(benchmark):
     ds = _dataset(300)
 
@@ -80,3 +86,33 @@ def test_benchmark_umsc_medium(benchmark):
     # benchmark JSON so saved entries carry the phase-level breakdown.
     benchmark.extra_info["phase_seconds"] = result.diagnostics.phase_seconds()
     assert result.labels.shape == (300,)
+
+
+def test_cache_smoke_warm_vs_cold(capsys):
+    """Fast, unmarked smoke check of the computation cache on a real fit.
+
+    Two identical fits through one cache: the first (cold) populates it,
+    the second (warm) must reuse every graph/eigen computation — a
+    nonzero hit rate and zero new misses — with bit-identical labels.
+    """
+    ds = _dataset(SIZES[0])
+    baseline = UnifiedMVSC(ds.n_clusters, random_state=0).fit(ds.views).labels
+    cache = ComputationCache()
+    with use_cache(cache):
+        start = time.perf_counter()
+        cold = UnifiedMVSC(ds.n_clusters, random_state=0).fit(ds.views).labels
+        cold_s = time.perf_counter() - start
+        misses_after_cold = cache.stats().misses
+        start = time.perf_counter()
+        warm = UnifiedMVSC(ds.n_clusters, random_state=0).fit(ds.views).labels
+        warm_s = time.perf_counter() - start
+    stats = cache.stats()
+    with capsys.disabled():
+        print(
+            f"\n=== cache smoke: cold {cold_s:.2f}s, warm {warm_s:.2f}s, "
+            f"hit rate {stats.hit_rate:.0%} ==="
+        )
+    assert stats.hit_rate > 0
+    assert stats.misses == misses_after_cold  # warm pass recomputed nothing
+    np.testing.assert_array_equal(baseline, cold)
+    np.testing.assert_array_equal(baseline, warm)

@@ -8,6 +8,10 @@ ordering is asserted.
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.slow  # full protocol; deselect with -m "not slow"
+
 from _config import (
     all_table_results,
     attach_phase_extra_info,

@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.slow  # full protocol; deselect with -m "not slow"
+
 from _config import all_table_results, bench_datasets, get_dataset
 
 from repro.evaluation.tables import format_metric_table, summarize_ranks

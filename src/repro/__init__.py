@@ -49,6 +49,12 @@ from repro.observability import (
     span,
     use_trace,
 )
+from repro.pipeline import (
+    ComputationCache,
+    current_cache,
+    use_cache,
+    use_jobs,
+)
 
 __version__ = "1.0.0"
 
@@ -82,5 +88,9 @@ __all__ = [
     "current_trace",
     "span",
     "use_trace",
+    "ComputationCache",
+    "current_cache",
+    "use_cache",
+    "use_jobs",
     "__version__",
 ]

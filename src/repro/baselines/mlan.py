@@ -78,6 +78,12 @@ class MLAN:
         n = views[0].shape[0]
         if c > n:
             raise ValidationError(f"n_clusters={c} exceeds n_samples={n}")
+        if n < 3:
+            raise ValidationError(f"MLAN needs at least 3 samples, got {n}")
+        # Deliberate clamp (the adaptive graph rejects out-of-range k):
+        # MLAN's authors fix k=9-ish regardless of n, so small datasets
+        # shrink the neighborhood instead of failing.
+        k = max(1, min(self.n_neighbors, n - 2))
 
         # Per-view squared distances, scale-normalized so no view dominates
         # by units alone.
@@ -91,7 +97,7 @@ class MLAN:
         lam = self.lam
 
         s = adaptive_neighbor_affinity(
-            distances=self._combined(dists, w, None, 0.0), k=self.n_neighbors
+            distances=self._combined(dists, w, None, 0.0), k=k
         )
         for _ in range(self.n_iter):
             lap = laplacian(s, normalization="unnormalized")
@@ -105,8 +111,7 @@ class MLAN:
             elif values[c] < 1e-10:
                 lam /= 2.0
             s = adaptive_neighbor_affinity(
-                distances=self._combined(dists, w, f[:, :c], lam),
-                k=self.n_neighbors,
+                distances=self._combined(dists, w, f[:, :c], lam), k=k
             )
             # Parameter-free view weights from the current graph.
             costs = np.array([float(np.sum(d * s)) for d in dists])

@@ -1,17 +1,24 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands mirror the evaluation artifacts:
+Six subcommands mirror the evaluation artifacts:
 
 * ``datasets``    — print Table I (benchmark statistics);
 * ``run``         — run one method on one benchmark, print its metrics;
 * ``table``       — print a Tables II-IV style comparison;
 * ``convergence`` — print the Figure-1 objective trace;
-* ``stability``   — seed-stability comparison of one-stage vs two-stage.
+* ``stability``   — seed-stability comparison of one-stage vs two-stage;
+* ``cache``       — inspect (``stats``) or empty (``clear``) an on-disk
+  computation cache.
 
 ``run`` exposes the observability layer: ``--verbose`` streams one line
 per solver iteration to stderr, ``--trace PATH`` writes the spans and
 iteration events as JSONL, and ``--profile`` prints a per-phase timing
 table (where the time went: graph build / eigensolve / GPI / Y-step).
+
+``run`` and ``table`` expose the pipeline layer: ``--cache-dir PATH``
+memoizes graph/Laplacian/eigen computations into an on-disk store
+(reused across invocations; results are bit-identical), and ``--jobs N``
+builds per-view graphs on ``N`` worker threads (``-1`` = all CPUs).
 
 Everything the CLI does is also available programmatically through
 :mod:`repro.evaluation`; the CLI only parses arguments and prints.
@@ -21,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import ExitStack
 
 from repro.datasets import available_benchmarks, get_spec, load_benchmark
 from repro.evaluation.curves import convergence_curve, sparkline
@@ -28,6 +36,13 @@ from repro.evaluation.registry import default_method_registry
 from repro.evaluation.runner import run_experiment, run_method_once
 from repro.evaluation.tables import format_metric_table, format_rows
 from repro.observability import JsonlSink, LoggingSink, Trace, use_trace
+from repro.pipeline import (
+    ComputationCache,
+    clear_disk_store,
+    disk_store_stats,
+    use_cache,
+    use_jobs,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -64,8 +79,10 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print a per-phase timing breakdown after the run",
     )
+    _add_pipeline_args(run_p)
 
     table_p = sub.add_parser("table", help="print a comparison table")
+    _add_pipeline_args(table_p)
     table_p.add_argument(
         "--datasets",
         default="three_sources,msrcv1,yale",
@@ -91,7 +108,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stab_p.add_argument("--dataset", required=True, choices=available_benchmarks())
     stab_p.add_argument("--runs", type=int, default=5)
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect or clear an on-disk computation cache"
+    )
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+    for sub_name, sub_help in (
+        ("stats", "print entry count and size of a cache directory"),
+        ("clear", "delete every cache entry in a cache directory"),
+    ):
+        p = cache_sub.add_parser(sub_name, help=sub_help)
+        p.add_argument(
+            "--cache-dir",
+            required=True,
+            help="on-disk computation cache directory",
+        )
     return parser
+
+
+def _add_pipeline_args(parser) -> None:
+    """Shared ``--cache-dir`` / ``--jobs`` flags (pipeline layer)."""
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="memoize graph/eigen computations into this directory "
+        "(reused across invocations; results are bit-identical)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker threads for per-view graph construction "
+        "(-1 = all CPUs; default serial)",
+    )
+
+
+def _pipeline_context(args, stack: ExitStack):
+    """Activate cache/jobs from CLI flags; returns the cache (or None)."""
+    cache = None
+    if getattr(args, "cache_dir", None):
+        cache = ComputationCache(directory=args.cache_dir)
+        stack.enter_context(use_cache(cache))
+    if getattr(args, "jobs", None) is not None:
+        stack.enter_context(use_jobs(args.jobs))
+    return cache
+
+
+def _print_cache_summary(cache, out) -> None:
+    if cache is None:
+        return
+    s = cache.stats()
+    print(
+        f"cache: {s.hits} hits / {s.misses} misses "
+        f"(hit rate {s.hit_rate:.0%}), "
+        f"{s.disk_entries} disk entries ({s.disk_bytes / 1e6:.1f} MB)",
+        file=out,
+    )
 
 
 def _cmd_datasets(out) -> int:
@@ -135,7 +209,9 @@ def _cmd_run(args, out) -> int:
     if args.verbose:
         sinks.append(LoggingSink(stream=sys.stderr))
     trace = Trace(f"run:{args.dataset}:{args.method}", sinks=sinks)
-    with use_trace(trace):
+    with ExitStack() as stack:
+        cache = _pipeline_context(args, stack)
+        stack.enter_context(use_trace(trace))
         scores, seconds = run_method_once(
             spec, dataset, args.seed, metrics=("acc", "nmi", "purity")
         )
@@ -153,6 +229,7 @@ def _cmd_run(args, out) -> int:
             f"events -> {args.trace}",
             file=out,
         )
+    _print_cache_summary(cache, out)
     return 0
 
 
@@ -162,16 +239,33 @@ def _cmd_table(args, out) -> int:
         [m.strip() for m in args.methods.split(",") if m.strip()] or None
     )
     results = {}
-    for name in names:
-        dataset = load_benchmark(name)
-        results[name] = run_experiment(
-            dataset,
-            methods=methods,
-            n_runs=args.runs,
-            metrics=(args.metric,),
-        )
+    with ExitStack() as stack:
+        cache = _pipeline_context(args, stack)
+        for name in names:
+            dataset = load_benchmark(name)
+            results[name] = run_experiment(
+                dataset,
+                methods=methods,
+                n_runs=args.runs,
+                metrics=(args.metric,),
+            )
     print(format_metric_table(results, args.metric), file=out)
+    _print_cache_summary(cache, out)
     return 0
+
+
+def _cmd_cache(args, out) -> int:
+    if args.cache_command == "stats":
+        entries, nbytes = disk_store_stats(args.cache_dir)
+        print(f"cache directory: {args.cache_dir}", file=out)
+        print(f"  entries: {entries}", file=out)
+        print(f"  size:    {nbytes / 1e6:.1f} MB", file=out)
+        return 0
+    if args.cache_command == "clear":
+        removed = clear_disk_store(args.cache_dir)
+        print(f"removed {removed} cache entries from {args.cache_dir}", file=out)
+        return 0
+    raise AssertionError(f"unhandled cache command {args.cache_command!r}")
 
 
 def _cmd_convergence(args, out) -> int:
@@ -233,4 +327,6 @@ def main(argv=None, out=None) -> int:
         return _cmd_convergence(args, out)
     if args.command == "stability":
         return _cmd_stability(args, out)
+    if args.command == "cache":
+        return _cmd_cache(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

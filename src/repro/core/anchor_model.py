@@ -39,6 +39,7 @@ from repro.graph.anchor import (
 from repro.linalg.procrustes import nearest_orthogonal
 from repro.observability.events import IterationEvent, dispatch_event
 from repro.observability.trace import span
+from repro.pipeline.cache import memoized_parallel
 from repro.utils.rng import check_random_state
 from repro.utils.validation import check_views
 
@@ -72,6 +73,12 @@ class AnchorMVSC:
         Outer (embedding / rotation / assignment / weights) alternations.
     n_restarts : int
         Rotation-initialization restarts.
+    n_jobs : int or None
+        Worker threads for per-view anchor-graph construction; ``None``
+        defers to the ambient :func:`repro.pipeline.parallel.use_jobs`
+        default (serial).  Anchor *selection* stays serial (it consumes
+        the shared random generator), so results are identical for any
+        value.
     random_state : int, Generator, or None
     callbacks : sequence of FitCallback, optional
         Listeners receiving one :class:`~repro.observability.events.
@@ -97,6 +104,7 @@ class AnchorMVSC:
         weighting: str = "exponential",
         max_iter: int = 10,
         n_restarts: int = 10,
+        n_jobs: int | None = None,
         random_state=None,
         callbacks=(),
     ) -> None:
@@ -115,6 +123,7 @@ class AnchorMVSC:
         self.weighting = weighting
         self.max_iter = int(max_iter)
         self.n_restarts = int(n_restarts)
+        self.n_jobs = n_jobs
         self.random_state = random_state
         self.callbacks = tuple(callbacks)
 
@@ -150,11 +159,24 @@ class AnchorMVSC:
             },
         )
         with span("graph_build", n_views=len(views), n_anchors=m):
-            factors = []
-            for x in views:
-                anchors = select_anchors(x, m, random_state=rng)
-                z = anchor_assignment(x, anchors, k=self.n_anchor_neighbors)
-                factors.append(anchor_affinity_factor(z))
+            # Anchor selection consumes the shared rng, so it runs
+            # serially; the assignment/factor step is a pure function of
+            # (view, anchors) and is cached and parallelized.
+            anchor_sets = [
+                select_anchors(x, m, random_state=rng) for x in views
+            ]
+            factors = memoized_parallel(
+                list(zip(views, anchor_sets)),
+                lambda pair: anchor_affinity_factor(
+                    anchor_assignment(
+                        pair[0], pair[1], k=self.n_anchor_neighbors
+                    )
+                ),
+                namespace="anchor_factor",
+                key_arrays=lambda pair: pair,
+                key_params={"k": int(self.n_anchor_neighbors)},
+                n_jobs=self.n_jobs,
+            )
 
         n_views = len(factors)
         w = np.full(n_views, 1.0 / n_views)

@@ -47,6 +47,12 @@ class UMSCConfig:
         Inner GPI iteration cap for the embedding update.
     gpi_tol : float
         Inner GPI tolerance.
+    n_jobs : int or None
+        Worker threads for per-view graph construction; ``None`` defers
+        to the ambient default of
+        :func:`repro.pipeline.parallel.use_jobs` (serial unless
+        installed), ``-1`` uses every CPU.  Results are identical for
+        any value.
     """
 
     n_clusters: int
@@ -60,6 +66,7 @@ class UMSCConfig:
     tol: float = 1e-6
     gpi_max_iter: int = 50
     gpi_tol: float = 1e-8
+    n_jobs: int | None = None
 
     def __post_init__(self) -> None:
         if self.n_clusters < 1:
@@ -93,4 +100,8 @@ class UMSCConfig:
         if self.gpi_max_iter < 1:
             raise ValidationError(
                 f"gpi_max_iter must be >= 1, got {self.gpi_max_iter}"
+            )
+        if self.n_jobs is not None and self.n_jobs != -1 and self.n_jobs < 1:
+            raise ValidationError(
+                f"n_jobs must be None, -1, or >= 1, got {self.n_jobs}"
             )

@@ -3,6 +3,12 @@
 Centralizes the recipe every algorithm in this repo (the unified framework
 and all baselines) uses to turn raw views into affinities and Laplacians,
 so method comparisons differ only in the *algorithm*, never in the graph.
+
+Because the recipe is a pure function of (view bytes, affinity kind, k,
+normalization), both builders memoize through the ambient
+:mod:`repro.pipeline` cache when one is active, and the per-view loop can
+run on a thread pool (views are independent); either way the output is
+bit-identical to the serial, uncached path.
 """
 
 from __future__ import annotations
@@ -12,6 +18,8 @@ import numpy as np
 from repro.graph.affinity import build_view_affinity
 from repro.graph.laplacian import laplacian
 from repro.observability.trace import span
+from repro.pipeline.cache import cache_key, current_cache
+from repro.pipeline.parallel import parallel_map, resolve_jobs
 from repro.utils.validation import check_views
 
 
@@ -35,6 +43,7 @@ def build_multiview_affinities(
     *,
     kind: str = "auto",
     n_neighbors: int = 10,
+    n_jobs: int | None = None,
 ) -> list[np.ndarray]:
     """One symmetric non-negative affinity per view.
 
@@ -47,24 +56,78 @@ def build_multiview_affinities(
         (text) and self-tuning Gaussian otherwise.
     n_neighbors : int
         k-NN sparsification / local scaling parameter.
+    n_jobs : int, optional
+        Worker threads for the per-view builds; ``None`` defers to the
+        ambient default of :func:`repro.pipeline.parallel.use_jobs`
+        (serial unless installed), ``-1`` uses every CPU.
 
     Returns
     -------
     list of ndarray (n, n)
     """
     views = check_views(views, "views")
-    affinities = []
+    kinds = [resolve_view_kind(x, kind) for x in views]
+    cache = current_cache()
+    affinities: list = [None] * len(views)
+    keys: list = [None] * len(views)
+    missing: list[int] = []
     for i, x in enumerate(views):
-        resolved = resolve_view_kind(x, kind)
-        with span("view_affinity", view=i, kind=resolved, n=x.shape[0]):
-            affinities.append(
-                build_view_affinity(x, kind=resolved, k=n_neighbors)
+        if cache is None:
+            missing.append(i)
+            continue
+        keys[i] = cache_key(
+            "affinity", (x,), {"kind": kinds[i], "k": int(n_neighbors)}
+        )
+        got = cache.fetch(keys[i], namespace="affinity")
+        if got is None:
+            missing.append(i)
+        else:
+            affinities[i] = got[0]
+    jobs = resolve_jobs(n_jobs, n_tasks=len(missing))
+    if jobs > 1 and len(missing) > 1:
+        # Workers run outside the trace context (see repro.pipeline.
+        # parallel); one umbrella span stands in for the per-view ones.
+        with span(
+            "view_affinity_parallel", n_views=len(missing), n_jobs=jobs
+        ):
+            computed = parallel_map(
+                lambda i: build_view_affinity(
+                    views[i], kind=kinds[i], k=n_neighbors
+                ),
+                missing,
+                n_jobs=jobs,
             )
+    else:
+        computed = []
+        for i in missing:
+            with span(
+                "view_affinity", view=i, kind=kinds[i], n=views[i].shape[0]
+            ):
+                computed.append(
+                    build_view_affinity(views[i], kind=kinds[i], k=n_neighbors)
+                )
+    for i, w in zip(missing, computed):
+        if cache is not None:
+            cache.insert(keys[i], (w,))
+        affinities[i] = w
     return affinities
 
 
 def build_laplacians(
-    affinities, *, normalization: str = "symmetric"
+    affinities,
+    *,
+    normalization: str = "symmetric",
+    n_jobs: int | None = None,
 ) -> list[np.ndarray]:
-    """One graph Laplacian per affinity."""
-    return [laplacian(w, normalization=normalization) for w in affinities]
+    """One graph Laplacian per affinity (cached and parallel like the
+    affinity builder)."""
+    from repro.pipeline.cache import memoized_parallel
+
+    return memoized_parallel(
+        affinities,
+        lambda w: laplacian(w, normalization=normalization),
+        namespace="laplacian",
+        key_arrays=lambda w: (w,),
+        key_params={"normalization": normalization},
+        n_jobs=n_jobs,
+    )

@@ -103,6 +103,11 @@ class UnifiedMVSC:
     n_restarts : int
         Random-rotation restarts in the initialization (the K-means-free
         analogue of discretization restarts).
+    n_jobs : int or None
+        Worker threads for per-view graph construction in :meth:`fit`;
+        ``None`` defers to the ambient
+        :func:`repro.pipeline.parallel.use_jobs` default (serial),
+        ``-1`` uses every CPU.  Labels are bit-identical for any value.
     random_state : int, Generator, or None
         Seeds the rotation initialization (the only stochastic step).
     callbacks : sequence of FitCallback, optional
@@ -137,6 +142,7 @@ class UnifiedMVSC:
         gpi_max_iter: int = 50,
         gpi_tol: float = 1e-8,
         n_restarts: int = 10,
+        n_jobs: int | None = None,
         random_state=None,
         callbacks=(),
     ) -> None:
@@ -152,6 +158,7 @@ class UnifiedMVSC:
             tol=tol,
             gpi_max_iter=gpi_max_iter,
             gpi_tol=gpi_tol,
+            n_jobs=n_jobs,
         )
         if n_restarts < 1:
             raise ValidationError(f"n_restarts must be >= 1, got {n_restarts}")
@@ -184,7 +191,10 @@ class UnifiedMVSC:
         cfg = self.config
         with span("graph_build", kind=cfg.graph, n_views=len(views)):
             affinities = build_multiview_affinities(
-                views, kind=cfg.graph, n_neighbors=cfg.n_neighbors
+                views,
+                kind=cfg.graph,
+                n_neighbors=cfg.n_neighbors,
+                n_jobs=cfg.n_jobs,
             )
         return self.fit_affinities(affinities)
 
@@ -226,7 +236,7 @@ class UnifiedMVSC:
         # the jointly normalized Laplacian of the fused affinity minus the
         # weighted per-view projectors.
         with span("view_laplacians", n_views=len(affinities)):
-            view_laplacians = build_laplacians(affinities)
+            view_laplacians = build_laplacians(affinities, n_jobs=cfg.n_jobs)
         n_views = len(affinities)
         if cfg.consensus > 0:
             with span("view_bases", n_views=n_views, k=c):

@@ -30,6 +30,7 @@ from repro.linalg.eigen import eigsh_smallest
 from repro.linalg.procrustes import nearest_orthogonal
 from repro.observability.events import IterationEvent, dispatch_event
 from repro.observability.trace import span
+from repro.pipeline.cache import memoized_parallel
 from repro.utils.rng import check_random_state
 from repro.utils.validation import check_views
 
@@ -53,6 +54,10 @@ class SparseMVSC:
         Rotation-initialization restarts.
     block : int
         Query block size for graph construction (memory knob).
+    n_jobs : int or None
+        Worker threads for per-view graph construction; ``None`` defers
+        to the ambient :func:`repro.pipeline.parallel.use_jobs` default
+        (serial).  Results are identical for any value.
     random_state : int, Generator, or None
     callbacks : sequence of FitCallback, optional
         Listeners receiving one :class:`~repro.observability.events.
@@ -70,6 +75,7 @@ class SparseMVSC:
         max_iter: int = 10,
         n_restarts: int = 10,
         block: int = 512,
+        n_jobs: int | None = None,
         random_state=None,
         callbacks=(),
     ) -> None:
@@ -86,6 +92,7 @@ class SparseMVSC:
         self.max_iter = int(max_iter)
         self.n_restarts = int(n_restarts)
         self.block = int(block)
+        self.n_jobs = n_jobs
         self.random_state = random_state
         self.callbacks = tuple(callbacks)
 
@@ -117,11 +124,26 @@ class SparseMVSC:
             },
         )
         with span("graph_build", n_views=len(views), k=self.n_neighbors):
-            affinities = [
-                sparse_knn_affinity(x, k=self.n_neighbors, block=self.block)
-                for x in views
-            ]
-            laplacians = [sparse_laplacian(w) for w in affinities]
+            affinities = memoized_parallel(
+                views,
+                lambda x: sparse_knn_affinity(
+                    x, k=self.n_neighbors, block=self.block
+                ),
+                namespace="sparse_affinity",
+                key_arrays=lambda x: (x,),
+                key_params={
+                    "k": int(self.n_neighbors),
+                    "block": int(self.block),
+                },
+                n_jobs=self.n_jobs,
+            )
+            laplacians = memoized_parallel(
+                affinities,
+                sparse_laplacian,
+                namespace="sparse_laplacian",
+                key_arrays=lambda w: (w,),
+                n_jobs=self.n_jobs,
+            )
         n_views = len(affinities)
 
         w = np.full(n_views, 1.0 / n_views)

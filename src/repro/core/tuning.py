@@ -97,8 +97,16 @@ def tune_umsc(
     grid: dict | None = None,
     metric: str = "acc",
     random_state: int = 0,
+    cache=True,
+    n_jobs: int | None = None,
 ):
     """Re-run the grid search behind :data:`RECOMMENDED`.
+
+    Grid points share one
+    :class:`~repro.pipeline.cache.ComputationCache` by default (pass
+    ``cache=None`` to disable), so the per-view graphs and spectral
+    bases — identical across points that only vary solver parameters —
+    are computed once; the selected configuration is unchanged.
 
     Returns the full :class:`~repro.evaluation.sweeps.SweepResult`; its
     ``best(metric)`` point is the recommended configuration.
@@ -121,4 +129,6 @@ def tune_umsc(
         grid or DEFAULT_GRID,
         metrics=(metric,),
         random_state=random_state,
+        cache=cache,
+        n_jobs=n_jobs,
     )

@@ -14,6 +14,7 @@ total seconds — the data the paper-style runtime analyses need.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -24,6 +25,8 @@ from repro.evaluation.registry import MethodSpec, default_method_registry
 from repro.exceptions import ValidationError
 from repro.metrics import METRICS, evaluate_clustering
 from repro.observability.trace import Trace, use_trace
+from repro.pipeline.cache import ComputationCache, use_cache
+from repro.pipeline.parallel import use_jobs
 from repro.utils.rng import spawn_seeds
 
 
@@ -116,6 +119,8 @@ def run_experiment(
     metrics=("acc", "nmi", "purity"),
     base_seed: int = 0,
     collect_phases: bool = True,
+    cache: "ComputationCache | bool | None" = None,
+    n_jobs: int | None = None,
 ) -> dict:
     """Run every requested method ``n_runs`` times on one dataset.
 
@@ -135,6 +140,15 @@ def run_experiment(
         Run every fit inside a fresh trace and aggregate the per-phase
         timing breakdown into ``MethodScores.phase_seconds`` (negligible
         overhead; results are unaffected by tracing).
+    cache : ComputationCache, True, or None
+        Share graph/Laplacian/eigen computations across the repeated
+        runs through a :class:`~repro.pipeline.cache.ComputationCache`
+        (``True`` creates a fresh in-memory one).  The per-view graphs
+        depend on the data, never on the seed, so every run after the
+        first reuses them; scores are bit-identical either way.
+    n_jobs : int, optional
+        Ambient worker-thread count for per-view graph construction
+        during the runs (see :func:`repro.pipeline.parallel.use_jobs`).
 
     Returns
     -------
@@ -155,33 +169,40 @@ def run_experiment(
         )
 
     seeds = spawn_seeds(base_seed, n_runs)
+    if cache is True:
+        cache = ComputationCache()
+    cache_ctx = use_cache(cache) if cache is not None else nullcontext()
+    jobs_ctx = use_jobs(n_jobs) if n_jobs is not None else nullcontext()
     results: dict[str, MethodScores] = {}
-    for name in methods:
-        spec = registry[name]
-        per_metric: dict[str, list] = {m: [] for m in metrics}
-        times: list[float] = []
-        phase_runs: list[dict] = []
-        for seed in seeds:
-            trace = Trace(f"{name}:{dataset.name}") if collect_phases else None
-            run_scores, elapsed = run_method_once(
-                spec, dataset, seed, metrics=metrics, trace=trace
+    with cache_ctx, jobs_ctx:
+        for name in methods:
+            spec = registry[name]
+            per_metric: dict[str, list] = {m: [] for m in metrics}
+            times: list[float] = []
+            phase_runs: list[dict] = []
+            for seed in seeds:
+                trace = (
+                    Trace(f"{name}:{dataset.name}") if collect_phases else None
+                )
+                run_scores, elapsed = run_method_once(
+                    spec, dataset, seed, metrics=metrics, trace=trace
+                )
+                for m in metrics:
+                    per_metric[m].append(run_scores[m])
+                times.append(elapsed)
+                if trace is not None:
+                    phase_runs.append(trace.phase_totals())
+            results[name] = MethodScores(
+                method=name,
+                dataset=dataset.name,
+                scores={
+                    m: AggregatedScore.from_values(vals)
+                    for m, vals in per_metric.items()
+                },
+                seconds=AggregatedScore.from_values(times),
+                n_runs=n_runs,
+                phase_seconds=_aggregate_phases(phase_runs),
             )
-            for m in metrics:
-                per_metric[m].append(run_scores[m])
-            times.append(elapsed)
-            if trace is not None:
-                phase_runs.append(trace.phase_totals())
-        results[name] = MethodScores(
-            method=name,
-            dataset=dataset.name,
-            scores={
-                m: AggregatedScore.from_values(vals)
-                for m, vals in per_metric.items()
-            },
-            seconds=AggregatedScore.from_values(times),
-            n_runs=n_runs,
-            phase_seconds=_aggregate_phases(phase_runs),
-        )
     return results
 
 

@@ -4,12 +4,15 @@ from __future__ import annotations
 
 import itertools
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.datasets.container import MultiViewDataset
 from repro.exceptions import ValidationError
 from repro.metrics import evaluate_clustering
 from repro.observability.trace import Trace, use_trace
+from repro.pipeline.cache import ComputationCache, use_cache
+from repro.pipeline.parallel import use_jobs
 
 
 @dataclass(frozen=True)
@@ -53,6 +56,8 @@ def grid_sweep(
     *,
     metrics=("acc", "nmi", "purity"),
     random_state: int = 0,
+    cache: "ComputationCache | bool | None" = None,
+    n_jobs: int | None = None,
 ) -> SweepResult:
     """Evaluate a model builder over a parameter grid.
 
@@ -70,6 +75,15 @@ def grid_sweep(
         Metrics to record at each point.
     random_state : int
         Shared seed so grid points differ only in the parameters.
+    cache : ComputationCache, True, or None
+        Share graph/Laplacian/eigen computations across grid points
+        through a :class:`~repro.pipeline.cache.ComputationCache`
+        (``True`` creates a fresh in-memory one).  Grid points that vary
+        only in solver parameters reuse the same per-view graphs; scores
+        are bit-identical either way.
+    n_jobs : int, optional
+        Ambient worker-thread count for per-view graph construction
+        during the sweep (see :func:`repro.pipeline.parallel.use_jobs`).
 
     Returns
     -------
@@ -78,24 +92,29 @@ def grid_sweep(
     if not grid:
         raise ValidationError("grid must contain at least one parameter")
     names = list(grid)
+    if cache is True:
+        cache = ComputationCache()
+    cache_ctx = use_cache(cache) if cache is not None else nullcontext()
+    jobs_ctx = use_jobs(n_jobs) if n_jobs is not None else nullcontext()
     result = SweepResult(dataset=dataset.name)
-    for combo in itertools.product(*(grid[name] for name in names)):
-        params = dict(zip(names, combo))
-        model = build(random_state=random_state, **params)
-        trace = Trace(f"sweep:{dataset.name}")
-        start = time.perf_counter()
-        with use_trace(trace):
-            labels = model.fit_predict(dataset.views)
-        elapsed = time.perf_counter() - start
-        scores = evaluate_clustering(
-            dataset.labels, labels, metrics=tuple(metrics)
-        )
-        result.points.append(
-            SweepPoint(
-                params=params,
-                scores=scores,
-                seconds=elapsed,
-                phase_seconds=trace.phase_totals(),
+    with cache_ctx, jobs_ctx:
+        for combo in itertools.product(*(grid[name] for name in names)):
+            params = dict(zip(names, combo))
+            model = build(random_state=random_state, **params)
+            trace = Trace(f"sweep:{dataset.name}")
+            start = time.perf_counter()
+            with use_trace(trace):
+                labels = model.fit_predict(dataset.views)
+            elapsed = time.perf_counter() - start
+            scores = evaluate_clustering(
+                dataset.labels, labels, metrics=tuple(metrics)
             )
-        )
+            result.points.append(
+                SweepPoint(
+                    params=params,
+                    scores=scores,
+                    seconds=elapsed,
+                    phase_seconds=trace.phase_totals(),
+                )
+            )
     return result

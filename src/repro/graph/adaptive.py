@@ -64,7 +64,9 @@ def adaptive_neighbor_affinity(
     x : ndarray of shape (n, d), optional
         Feature matrix; mutually exclusive with ``distances``.
     k : int
-        Number of neighbors each sample connects to.
+        Number of neighbors each sample connects to; must satisfy
+        ``1 <= k <= n - 2`` (the closed form needs the ``(k+1)``-th
+        neighbor distance to set ``gamma``).
     distances : ndarray of shape (n, n), optional
         Precomputed squared distances (used by graph-learning baselines that
         iterate on modified distances).
@@ -88,7 +90,11 @@ def adaptive_neighbor_affinity(
             raise ValidationError("distances must be square")
     n = d2.shape[0]
     if not 1 <= k <= n - 2:
-        k = max(1, min(k, n - 2))
+        # Raising (not clamping) keeps sweeps honest: a configured k that
+        # cannot be realized must not silently run a different graph.
+        raise ValidationError(
+            f"k must be in [1, {n - 2}] for n={n}, got {k}"
+        )
     work = d2.copy()
     np.fill_diagonal(work, np.inf)
     order = np.argsort(work, axis=1)

@@ -114,6 +114,10 @@ def cosine_affinity(x: np.ndarray, *, zero_diagonal: bool = True) -> np.ndarray:
 
     ``W_ij = (1 + cos(x_i, x_j)) / 2`` — the standard choice for sparse
     text-like views where Euclidean bandwidth selection is unreliable.
+    Zero rows (empty documents) inherit the distance layer's convention:
+    they sit at the neutral affinity 0.5 to everything *including
+    themselves*, so a dead document never gets a self-similarity spike
+    even with ``zero_diagonal=False``.
     """
     sim = 1.0 - pairwise_cosine_distances(check_matrix(x, "x"))
     w = (1.0 + sim) / 2.0
@@ -199,7 +203,14 @@ def build_view_affinity(
     elif kind == "adaptive":
         from repro.graph.adaptive import adaptive_neighbor_affinity
 
-        return adaptive_neighbor_affinity(x, k=k_eff)
+        # The CAN graph needs a (k+1)-th neighbor to set gamma, so its
+        # valid range is [1, n - 2]; clamp the recipe's k explicitly
+        # (adaptive_neighbor_affinity itself rejects out-of-range k).
+        if n < 3:
+            raise ValidationError(
+                f"adaptive affinity needs at least 3 samples, got {n}"
+            )
+        return adaptive_neighbor_affinity(x, k=min(k_eff, n - 2))
     else:
         raise ValidationError(f"unknown affinity kind: {kind!r}")
     if sparsify:

@@ -49,9 +49,11 @@ def pairwise_sq_euclidean(x: np.ndarray, y: np.ndarray | None = None) -> np.ndar
 def pairwise_cosine_distances(x: np.ndarray, y: np.ndarray | None = None) -> np.ndarray:
     """Cosine distance matrix ``1 - cos(x_i, y_j)`` between rows.
 
-    Zero rows are treated as maximally distant from everything (distance 1),
-    matching the convention that an empty document is unrelated to all
-    others.
+    Zero rows are treated as maximally distant from *everything*
+    (distance 1) — including themselves in the symmetric case — matching
+    the convention that an empty document is unrelated to all others.
+    Only nonzero rows get the exact-zero self-distance of the symmetric
+    path; a dead document must not look like its own nearest neighbor.
 
     Returns
     -------
@@ -72,5 +74,7 @@ def pairwise_cosine_distances(x: np.ndarray, y: np.ndarray | None = None) -> np.
     np.clip(d, 0.0, 2.0, out=d)
     if symmetric:
         np.fill_diagonal(d, 0.0)
+        dead = np.flatnonzero(xn == 0)
+        d[dead, dead] = 1.0
         d = (d + d.T) / 2.0
     return d

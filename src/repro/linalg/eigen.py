@@ -4,7 +4,15 @@ Spectral clustering needs the ``k`` smallest eigenvectors of a graph
 Laplacian (or the ``k`` largest of a normalized affinity).  For the problem
 sizes of the paper's benchmarks (n up to a few thousand) a dense ``eigh`` is
 both the fastest and the most robust choice; for larger sparse problems we
-fall back to Lanczos (:func:`scipy.sparse.linalg.eigsh`).
+fall back to Lanczos (:func:`scipy.sparse.linalg.eigsh`).  A Lanczos run
+that fails to converge (``ArpackNoConvergence``) falls back to the dense
+path — counted via the ``eigsh.arpack_fallback`` metric — and only raises
+:class:`~repro.exceptions.NumericalError` if the dense solve fails too.
+
+All three entry points are pure functions of their inputs, so they
+memoize through the ambient :mod:`repro.pipeline` cache when one is
+active (keyed on the matrix bytes, ``k``, and which end of the spectrum);
+cached results are bit-identical to direct computation.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ import scipy.sparse.linalg
 
 from repro.exceptions import NumericalError, ValidationError
 from repro.observability.trace import metric_inc, span
+from repro.pipeline.cache import current_cache
 from repro.utils.validation import check_square
 
 #: Above this dimension, prefer Lanczos when k << n and the matrix is sparse.
@@ -37,6 +46,15 @@ def sorted_eigh(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         ``values[i]``.
     """
     a = check_square(a, "a")
+    cache = current_cache()
+    if cache is not None:
+        return cache.memoize(
+            "sorted_eigh", (a,), {}, lambda: _sorted_eigh(a)
+        )
+    return _sorted_eigh(a)
+
+
+def _sorted_eigh(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     a = (a + a.T) / 2.0
     values, vectors = scipy.linalg.eigh(a)
     if not np.all(np.isfinite(values)):
@@ -49,38 +67,95 @@ def _validate_k(n: int, k: int) -> None:
         raise ValidationError(f"k must be in [1, {n}], got {k}")
 
 
+def _lanczos(a, k: int, *, which: str) -> tuple[np.ndarray, np.ndarray]:
+    """Sparse Lanczos with a dense fallback on ARPACK non-convergence."""
+    n = a.shape[0]
+    label = "smallest" if which == "SA" else "largest"
+    metric_inc("eigsh.calls")
+    try:
+        with span("eigsh", n=n, k=k, which=label, path="lanczos"):
+            return scipy.sparse.linalg.eigsh(a, k=k, which=which)
+    except scipy.sparse.linalg.ArpackNoConvergence as exc:
+        metric_inc("eigsh.arpack_fallback")
+        dense = np.asarray(a.todense())
+        try:
+            if which == "SA":
+                values, vectors = _dense_extremal(dense, k, smallest=True)
+            else:
+                values, vectors = _dense_extremal(dense, k, smallest=False)
+                values, vectors = values[::-1], vectors[:, ::-1]
+            return values, vectors
+        except Exception as dense_exc:
+            raise NumericalError(
+                f"Lanczos failed to converge for n={n}, k={k} "
+                f"(which={label!r}) and the dense fallback also failed: "
+                f"{dense_exc}"
+            ) from exc
+
+
+def _dense_extremal(
+    a: np.ndarray, k: int, *, smallest: bool
+) -> tuple[np.ndarray, np.ndarray]:
+    """``k`` extremal eigenpairs of a dense symmetric matrix, ascending."""
+    a = check_square(a, "a")
+    n = a.shape[0]
+    a = (a + a.T) / 2.0
+    metric_inc("eigsh.calls")
+    subset = (0, k - 1) if smallest else (n - k, n - 1)
+    label = "smallest" if smallest else "largest"
+    with span("eigsh", n=n, k=k, which=label, path="dense"):
+        values, vectors = scipy.linalg.eigh(a, subset_by_index=subset)
+    if not np.all(np.isfinite(values)):
+        raise NumericalError("eigendecomposition produced non-finite eigenvalues")
+    return values, vectors
+
+
+def _eigsh_smallest(a, k: int) -> tuple[np.ndarray, np.ndarray]:
+    if scipy.sparse.issparse(a):
+        n = a.shape[0]
+        if k >= n - 1 or n <= _DENSE_CUTOFF:
+            return _eigsh_smallest(np.asarray(a.todense()), k)
+        values, vectors = _lanczos(a, k, which="SA")
+        order = np.argsort(values)
+        return values[order], vectors[:, order]
+    return _dense_extremal(a, k, smallest=True)
+
+
+def _eigsh_largest(a, k: int) -> tuple[np.ndarray, np.ndarray]:
+    if scipy.sparse.issparse(a):
+        n = a.shape[0]
+        if k >= n - 1 or n <= _DENSE_CUTOFF:
+            return _eigsh_largest(np.asarray(a.todense()), k)
+        values, vectors = _lanczos(a, k, which="LA")
+        order = np.argsort(values)[::-1]
+        return values[order], vectors[:, order]
+    values, vectors = _dense_extremal(a, k, smallest=False)
+    return values[::-1], vectors[:, ::-1]
+
+
 def eigsh_smallest(a, k: int) -> tuple[np.ndarray, np.ndarray]:
     """The ``k`` algebraically smallest eigenpairs of a symmetric matrix.
 
     Accepts dense arrays or scipy sparse matrices.  Dense path uses LAPACK's
     ``eigh`` with an index subset; the sparse path uses shift-invert-free
-    Lanczos with ``sigma=None, which='SA'``.
+    Lanczos with ``sigma=None, which='SA'`` and falls back to the dense
+    path if ARPACK fails to converge.
 
     Returns
     -------
     (values, vectors)
         ``values`` ascending, shape ``(k,)``; ``vectors`` shape ``(n, k)``.
     """
-    if scipy.sparse.issparse(a):
-        n = a.shape[0]
-        _validate_k(n, k)
-        if k >= n - 1 or n <= _DENSE_CUTOFF:
-            return eigsh_smallest(np.asarray(a.todense()), k)
-        metric_inc("eigsh.calls")
-        with span("eigsh", n=n, k=k, which="smallest", path="lanczos"):
-            values, vectors = scipy.sparse.linalg.eigsh(a, k=k, which="SA")
-        order = np.argsort(values)
-        return values[order], vectors[:, order]
-    a = check_square(a, "a")
-    n = a.shape[0]
-    _validate_k(n, k)
-    a = (a + a.T) / 2.0
-    metric_inc("eigsh.calls")
-    with span("eigsh", n=n, k=k, which="smallest", path="dense"):
-        values, vectors = scipy.linalg.eigh(a, subset_by_index=(0, k - 1))
-    if not np.all(np.isfinite(values)):
-        raise NumericalError("eigendecomposition produced non-finite eigenvalues")
-    return values, vectors
+    _validate_k(a.shape[0], k)
+    cache = current_cache()
+    if cache is not None:
+        return cache.memoize(
+            "eigsh",
+            (a,),
+            {"k": int(k), "which": "smallest"},
+            lambda: _eigsh_smallest(a, k),
+        )
+    return _eigsh_smallest(a, k)
 
 
 def eigsh_largest(a, k: int) -> tuple[np.ndarray, np.ndarray]:
@@ -91,23 +166,13 @@ def eigsh_largest(a, k: int) -> tuple[np.ndarray, np.ndarray]:
     (values, vectors)
         ``values`` descending, shape ``(k,)``; ``vectors`` shape ``(n, k)``.
     """
-    if scipy.sparse.issparse(a):
-        n = a.shape[0]
-        _validate_k(n, k)
-        if k >= n - 1 or n <= _DENSE_CUTOFF:
-            return eigsh_largest(np.asarray(a.todense()), k)
-        metric_inc("eigsh.calls")
-        with span("eigsh", n=n, k=k, which="largest", path="lanczos"):
-            values, vectors = scipy.sparse.linalg.eigsh(a, k=k, which="LA")
-        order = np.argsort(values)[::-1]
-        return values[order], vectors[:, order]
-    a = check_square(a, "a")
-    n = a.shape[0]
-    _validate_k(n, k)
-    a = (a + a.T) / 2.0
-    metric_inc("eigsh.calls")
-    with span("eigsh", n=n, k=k, which="largest", path="dense"):
-        values, vectors = scipy.linalg.eigh(a, subset_by_index=(n - k, n - 1))
-    if not np.all(np.isfinite(values)):
-        raise NumericalError("eigendecomposition produced non-finite eigenvalues")
-    return values[::-1], vectors[:, ::-1]
+    _validate_k(a.shape[0], k)
+    cache = current_cache()
+    if cache is not None:
+        return cache.memoize(
+            "eigsh",
+            (a,),
+            {"k": int(k), "which": "largest"},
+            lambda: _eigsh_largest(a, k),
+        )
+    return _eigsh_largest(a, k)

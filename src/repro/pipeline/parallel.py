@@ -1,0 +1,109 @@
+"""Thread-pool parallelism for independent per-view computations.
+
+Per-view graph construction is embarrassingly parallel — the views share
+nothing — and the heavy kernels (pairwise distances, k-NN selection) are
+numpy/BLAS calls that release the GIL, so plain threads give real
+speedups with zero serialization cost.
+
+A contextvar carries an ambient default job count (installed with
+:func:`use_jobs`, e.g. by the CLI's ``--jobs``), so call sites deep in
+the stack can honor it without threading a parameter through every
+layer; an explicit ``n_jobs`` argument always wins.
+
+Worker threads run in fresh contexts: the active trace/cache contextvars
+are intentionally *not* propagated, so instrumented code inside a worker
+degrades to its no-op path instead of mutating shared trace state
+concurrently.  Callers that need exact counters do their accounting on
+the calling thread (see
+:func:`~repro.pipeline.cache.memoized_parallel`).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from contextvars import ContextVar
+
+from repro.exceptions import ValidationError
+
+_DEFAULT_JOBS: ContextVar[int | None] = ContextVar(
+    "repro_default_jobs", default=None
+)
+
+
+def resolve_jobs(n_jobs: int | None = None, n_tasks: int | None = None) -> int:
+    """Effective worker count for a parallel region.
+
+    Parameters
+    ----------
+    n_jobs : int, optional
+        ``None`` defers to the ambient default (see :func:`use_jobs`),
+        itself defaulting to 1 (serial); ``-1`` means one worker per CPU;
+        positive values are taken as-is.
+    n_tasks : int, optional
+        Number of independent tasks; the result never exceeds it.
+
+    Returns
+    -------
+    int
+        At least 1.
+    """
+    if n_jobs is None:
+        n_jobs = _DEFAULT_JOBS.get()
+    if n_jobs is None:
+        n_jobs = 1
+    n_jobs = int(n_jobs)
+    if n_jobs == -1:
+        n_jobs = os.cpu_count() or 1
+    if n_jobs < 1:
+        raise ValidationError(
+            f"n_jobs must be a positive int or -1, got {n_jobs}"
+        )
+    if n_tasks is not None:
+        n_jobs = max(1, min(n_jobs, n_tasks))
+    return n_jobs
+
+
+class use_jobs:
+    """Context manager installing an ambient default job count.
+
+    Examples
+    --------
+    >>> from repro.pipeline.parallel import resolve_jobs, use_jobs
+    >>> resolve_jobs()
+    1
+    >>> with use_jobs(4):
+    ...     resolve_jobs()
+    4
+    >>> resolve_jobs(2, n_tasks=8)
+    2
+    """
+
+    def __init__(self, n_jobs: int) -> None:
+        resolve_jobs(n_jobs)  # validate eagerly
+        self.n_jobs = n_jobs
+        self._token = None
+
+    def __enter__(self) -> int:
+        self._token = _DEFAULT_JOBS.set(self.n_jobs)
+        return self.n_jobs
+
+    def __exit__(self, *exc) -> bool:
+        _DEFAULT_JOBS.reset(self._token)
+        return False
+
+
+def parallel_map(fn, items, *, n_jobs: int | None = None) -> list:
+    """Map ``fn`` over ``items``, optionally on a thread pool.
+
+    Results keep input order, and the output is bit-identical to the
+    serial map — ``fn`` must be a pure function of its item.  With an
+    effective job count of 1 (the default) this is a plain loop on the
+    calling thread, so spans/metrics inside ``fn`` still record.
+    """
+    items = list(items)
+    jobs = resolve_jobs(n_jobs, n_tasks=len(items))
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(fn, items))

@@ -24,6 +24,8 @@ MODULE_NAMES = [
     "repro.evaluation.ascii_plots",
     "repro.observability.metrics",
     "repro.observability.trace",
+    "repro.pipeline.cache",
+    "repro.pipeline.parallel",
 ]
 
 

@@ -102,3 +102,22 @@ class TestAdaptiveNeighborAffinity:
         x = np.vstack([rng.normal(size=(20, 2)), rng.normal(size=(20, 2)) + 12])
         s = adaptive_neighbor_affinity(x, k=5)
         assert s[:20, 20:].sum() == pytest.approx(0.0, abs=1e-12)
+
+    def test_k_out_of_range_raises(self):
+        # The CAN closed form needs k+1 sorted neighbors beyond self, so
+        # the valid range is [1, n-2]; out-of-range k must raise instead
+        # of silently clamping (callers that want clamping do it
+        # explicitly).
+        x = np.random.default_rng(5).normal(size=(10, 2))
+        with pytest.raises(ValidationError, match=r"k must be in \[1, 8\]"):
+            adaptive_neighbor_affinity(x, k=9)
+        with pytest.raises(ValidationError, match=r"k must be in \[1, 8\]"):
+            adaptive_neighbor_affinity(x, k=0)
+        with pytest.raises(ValidationError, match="k must be in"):
+            adaptive_neighbor_affinity(x, k=-3)
+
+    def test_k_boundary_values_accepted(self):
+        x = np.random.default_rng(6).normal(size=(10, 2))
+        for k in (1, 8):
+            s = adaptive_neighbor_affinity(x, k=k, symmetrize_output=False)
+            np.testing.assert_allclose(s.sum(axis=1), 1.0, atol=1e-8)

@@ -65,6 +65,32 @@ class TestCosine:
         x = np.array([[0.0, 0.0], [1.0, 1.0]])
         assert pairwise_cosine_distances(x)[0, 1] == pytest.approx(1.0)
 
+    def test_zero_row_distant_from_itself(self):
+        # A zero row has no direction, so it must NOT sit at distance 0
+        # from itself: d[i, i] = 1.0 for dead rows, matching their
+        # distance to every other row.
+        x = np.array([[0.0, 0.0], [1.0, 1.0], [0.0, 0.0]])
+        d = pairwise_cosine_distances(x)
+        assert d[0, 0] == pytest.approx(1.0)
+        assert d[2, 2] == pytest.approx(1.0)
+        assert d[1, 1] == pytest.approx(0.0)
+        assert d[0, 2] == pytest.approx(1.0)
+
+    def test_nonzero_diagonal_stays_zero(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(9, 4))
+        d = pairwise_cosine_distances(x)
+        np.testing.assert_allclose(np.diag(d), 0.0, atol=1e-12)
+
+    def test_zero_row_diagonal_cross_distances(self):
+        # The cross-distance (x, y) path must agree with the symmetric
+        # path about dead rows: a zero query row is distance 1 even to a
+        # zero reference row.
+        x = np.array([[0.0, 0.0], [1.0, 0.0]])
+        d = pairwise_cosine_distances(x, x)
+        assert d[0, 0] == pytest.approx(1.0)
+        assert d[1, 1] == pytest.approx(0.0)
+
     @settings(deadline=None, max_examples=30)
     @given(finite_matrix)
     def test_range_and_symmetry(self, x):

@@ -3,9 +3,12 @@
 import numpy as np
 import pytest
 import scipy.sparse
+import scipy.sparse.linalg
 
-from repro.exceptions import ValidationError
+import repro.linalg.eigen as eigen_mod
+from repro.exceptions import NumericalError, ValidationError
 from repro.linalg.eigen import eigsh_largest, eigsh_smallest, sorted_eigh
+from repro.observability import Trace, use_trace
 
 
 def _random_symmetric(n, seed=0):
@@ -70,3 +73,61 @@ class TestEigshLargest:
         large, _ = eigsh_largest(a, 3)
         small_of_neg, _ = eigsh_smallest(-a, 3)
         np.testing.assert_allclose(large, -small_of_neg, atol=1e-10)
+
+
+class TestArpackFallback:
+    """ARPACK non-convergence falls back to the dense path."""
+
+    @pytest.fixture()
+    def lanczos_always_fails(self, monkeypatch):
+        # Force the sparse branch for tiny matrices, then make ARPACK
+        # "fail to converge" every time.
+        monkeypatch.setattr(eigen_mod, "_DENSE_CUTOFF", 0)
+
+        def _no_convergence(*args, **kwargs):
+            raise scipy.sparse.linalg.ArpackNoConvergence(
+                "ARPACK error -1: no convergence", np.array([]), np.array([])
+            )
+
+        monkeypatch.setattr(scipy.sparse.linalg, "eigsh", _no_convergence)
+
+    def test_smallest_falls_back_to_dense(self, lanczos_always_fails):
+        a = _random_symmetric(20, seed=8)
+        sp = scipy.sparse.csr_matrix(a)
+        values, vectors = eigsh_smallest(sp, 3)
+        np.testing.assert_allclose(values, np.linalg.eigvalsh(a)[:3], atol=1e-8)
+        np.testing.assert_allclose(a @ vectors, vectors * values, atol=1e-8)
+
+    def test_largest_falls_back_to_dense(self, lanczos_always_fails):
+        a = _random_symmetric(20, seed=9)
+        sp = scipy.sparse.csr_matrix(a)
+        values, _ = eigsh_largest(sp, 3)
+        np.testing.assert_allclose(
+            values, np.linalg.eigvalsh(a)[::-1][:3], atol=1e-8
+        )
+
+    def test_fallback_counted(self, lanczos_always_fails):
+        a = _random_symmetric(15, seed=10)
+        sp = scipy.sparse.csr_matrix(a)
+        trace = Trace("test")
+        with use_trace(trace):
+            eigsh_smallest(sp, 2)
+        assert trace.metrics.counter("eigsh.arpack_fallback").value == 1.0
+
+    def test_raises_numerical_error_when_dense_also_fails(
+        self, lanczos_always_fails, monkeypatch
+    ):
+        def _dense_fails(*args, **kwargs):
+            raise RuntimeError("LAPACK exploded")
+
+        monkeypatch.setattr(eigen_mod, "_dense_extremal", _dense_fails)
+        sp = scipy.sparse.csr_matrix(_random_symmetric(15, seed=11))
+        with pytest.raises(NumericalError, match="dense fallback also failed"):
+            eigsh_smallest(sp, 2)
+
+    def test_no_fallback_counter_on_clean_run(self):
+        a = _random_symmetric(12, seed=12)
+        trace = Trace("test")
+        with use_trace(trace):
+            eigsh_smallest(a, 2)
+        assert "eigsh.arpack_fallback" not in trace.metrics.counters
