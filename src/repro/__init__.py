@@ -33,6 +33,7 @@ from repro.exceptions import (
     DatasetError,
     MonotonicityWarning,
     NumericalError,
+    RecoveryExhaustedError,
     ReproError,
     ValidationError,
 )
@@ -55,6 +56,14 @@ from repro.pipeline import (
     use_cache,
     use_jobs,
 )
+from repro.robust import (
+    FailurePolicy,
+    FaultSpec,
+    RecoveryEvent,
+    inject_faults,
+    registered_fault_sites,
+    use_policy,
+)
 
 __version__ = "1.0.0"
 
@@ -75,6 +84,7 @@ __all__ = [
     "ReproError",
     "ValidationError",
     "NumericalError",
+    "RecoveryExhaustedError",
     "DatasetError",
     "ConvergenceWarning",
     "MonotonicityWarning",
@@ -92,5 +102,11 @@ __all__ = [
     "current_cache",
     "use_cache",
     "use_jobs",
+    "FailurePolicy",
+    "FaultSpec",
+    "RecoveryEvent",
+    "inject_faults",
+    "registered_fault_sites",
+    "use_policy",
     "__version__",
 ]

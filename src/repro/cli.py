@@ -8,7 +8,9 @@ Six subcommands mirror the evaluation artifacts:
 * ``convergence`` — print the Figure-1 objective trace;
 * ``stability``   — seed-stability comparison of one-stage vs two-stage;
 * ``cache``       — inspect (``stats``) or empty (``clear``) an on-disk
-  computation cache.
+  computation cache;
+* ``faults``      — list the registered fault-injection sites of the
+  robustness harness (``repro faults list``).
 
 ``run`` exposes the observability layer: ``--verbose`` streams one line
 per solver iteration to stderr, ``--trace PATH`` writes the spans and
@@ -19,6 +21,9 @@ table (where the time went: graph build / eigensolve / GPI / Y-step).
 memoizes graph/Laplacian/eigen computations into an on-disk store
 (reused across invocations; results are bit-identical), and ``--jobs N``
 builds per-view graphs on ``N`` worker threads (``-1`` = all CPUs).
+They also expose the robustness layer: ``--max-retries N`` installs a
+:class:`~repro.robust.FailurePolicy` giving every numerical kernel ``N``
+deterministic perturbed retries before its fallback chain.
 
 Everything the CLI does is also available programmatically through
 :mod:`repro.evaluation`; the CLI only parses arguments and prints.
@@ -43,6 +48,7 @@ from repro.pipeline import (
     use_cache,
     use_jobs,
 )
+from repro.robust import FailurePolicy, registered_fault_sites, use_policy
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -123,6 +129,14 @@ def build_parser() -> argparse.ArgumentParser:
             required=True,
             help="on-disk computation cache directory",
         )
+
+    faults_p = sub.add_parser(
+        "faults", help="inspect the fault-injection harness"
+    )
+    faults_sub = faults_p.add_subparsers(dest="faults_command", required=True)
+    faults_sub.add_parser(
+        "list", help="list every registered fault-injection site"
+    )
     return parser
 
 
@@ -143,6 +157,14 @@ def _add_pipeline_args(parser) -> None:
         help="worker threads for per-view graph construction "
         "(-1 = all CPUs; default serial)",
     )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="deterministic perturbed retries per numerical kernel "
+        "before its fallback chain (default 1)",
+    )
 
 
 def _pipeline_context(args, stack: ExitStack):
@@ -153,6 +175,10 @@ def _pipeline_context(args, stack: ExitStack):
         stack.enter_context(use_cache(cache))
     if getattr(args, "jobs", None) is not None:
         stack.enter_context(use_jobs(args.jobs))
+    if getattr(args, "max_retries", None) is not None:
+        stack.enter_context(
+            use_policy(FailurePolicy(max_retries=args.max_retries))
+        )
     return cache
 
 
@@ -268,6 +294,19 @@ def _cmd_cache(args, out) -> int:
     raise AssertionError(f"unhandled cache command {args.cache_command!r}")
 
 
+def _cmd_faults(args, out) -> int:
+    if args.faults_command == "list":
+        sites = registered_fault_sites()
+        rows = [
+            [site.name, "/".join(site.modes), site.description]
+            for site in sorted(sites.values(), key=lambda s: s.name)
+        ]
+        print(format_rows(["site", "modes", "guards"], rows), file=out)
+        print(f"{len(rows)} fault sites registered", file=out)
+        return 0
+    raise AssertionError(f"unhandled faults command {args.faults_command!r}")
+
+
 def _cmd_convergence(args, out) -> int:
     dataset = load_benchmark(args.dataset)
     curve = convergence_curve(
@@ -329,4 +368,6 @@ def main(argv=None, out=None) -> int:
         return _cmd_stability(args, out)
     if args.command == "cache":
         return _cmd_cache(args, out)
+    if args.command == "faults":
+        return _cmd_faults(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

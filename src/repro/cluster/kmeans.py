@@ -15,8 +15,20 @@ import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.graph.distance import pairwise_sq_euclidean
+from repro.robust.faults import register_fault_site
+from repro.robust.policy import matrix_context, run_with_policy
 from repro.utils.rng import check_random_state
 from repro.utils.validation import check_matrix
+
+_SITE_INIT = register_fault_site(
+    "kmeans.init", "k-means++ center seeding (one restart)"
+)
+
+
+def _spread_centers(x: np.ndarray, n_clusters: int) -> np.ndarray:
+    """Deterministic seeding fallback: evenly spaced rows of ``x``."""
+    idx = np.round(np.linspace(0, x.shape[0] - 1, n_clusters)).astype(int)
+    return x[idx].copy()
 
 
 @dataclass(frozen=True)
@@ -177,7 +189,12 @@ class KMeans:
         rng = check_random_state(self.random_state)
         best: KMeansResult | None = None
         for _ in range(self.n_init):
-            centers0 = kmeans_plus_plus_init(x, self.n_clusters, rng)
+            centers0 = run_with_policy(
+                _SITE_INIT,
+                lambda perturb: kmeans_plus_plus_init(x, self.n_clusters, rng),
+                fallbacks=(("spread", lambda: _spread_centers(x, self.n_clusters)),),
+                context=lambda: matrix_context(x, "x"),
+            )
             labels, centers, inertia, n_iter = _lloyd(
                 x, centers0, self.max_iter, self.tol, rng
             )

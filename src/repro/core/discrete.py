@@ -26,11 +26,24 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster.labels import indicator_from_labels, repair_empty_clusters
-from repro.exceptions import ValidationError
+from repro.exceptions import RecoveryExhaustedError, ValidationError
 from repro.linalg.procrustes import nearest_orthogonal
 from repro.observability.trace import metric_inc, span
+from repro.robust.faults import maybe_inject, register_fault_site
+from repro.robust.policy import (
+    RECOVERABLE_EXCEPTIONS,
+    RecoveryEvent,
+    matrix_context,
+    record_recovery,
+)
 from repro.utils.rng import check_random_state
 from repro.utils.validation import check_matrix
+
+_SITE_ROTATION = register_fault_site(
+    "discrete.rotation",
+    "one spectral-rotation restart (rotation_initialize)",
+    modes=("raise", "delay"),
+)
 
 
 def scaled_indicator(labels: np.ndarray, n_clusters: int) -> np.ndarray:
@@ -191,30 +204,56 @@ def rotation_initialize(
 
     best_obj = -np.inf
     best: tuple[np.ndarray, np.ndarray] | None = None
+    last_error = "no restart produced a finite rotation objective"
     with span("rotation_initialize", n_restarts=n_restarts, n=n, c=c):
         for restart in range(n_restarts):
-            if restart % 2 == 0:
-                rot = anchor_rotation(f, rng)
-            else:
-                qmat, rmat = np.linalg.qr(rng.normal(size=(c, c)))
-                rot = qmat * np.sign(np.diag(rmat))[None, :]
-            scores = f @ rot
-            labels = repair_empty_clusters(
-                np.argmax(scores, axis=1).astype(np.int64), c, scores=scores, rng=rng
-            )
-            prev = labels.copy()
-            for _ in range(max_alt):
-                # Few sweeps per alternation: the outer loop re-polishes.
-                labels = indicator_coordinate_descent(
-                    f @ rot, labels, c, max_sweeps=4
+            # A failing restart is skipped, not fatal: any surviving restart
+            # still yields a feasible (R, Y) initialization.
+            try:
+                maybe_inject(_SITE_ROTATION)
+                if restart % 2 == 0:
+                    rot = anchor_rotation(f, rng)
+                else:
+                    qmat, rmat = np.linalg.qr(rng.normal(size=(c, c)))
+                    rot = qmat * np.sign(np.diag(rmat))[None, :]
+                scores = f @ rot
+                labels = repair_empty_clusters(
+                    np.argmax(scores, axis=1).astype(np.int64),
+                    c,
+                    scores=scores,
+                    rng=rng,
                 )
-                rot = nearest_orthogonal(f.T @ scaled_indicator(labels, c))
-                if np.array_equal(labels, prev):
-                    break
                 prev = labels.copy()
-            obj = rotation_objective(f @ rot, labels, c)
-            if obj > best_obj:
+                for _ in range(max_alt):
+                    # Few sweeps per alternation: the outer loop re-polishes.
+                    labels = indicator_coordinate_descent(
+                        f @ rot, labels, c, max_sweeps=4
+                    )
+                    rot = nearest_orthogonal(f.T @ scaled_indicator(labels, c))
+                    if np.array_equal(labels, prev):
+                        break
+                    prev = labels.copy()
+                obj = rotation_objective(f @ rot, labels, c)
+            except RECOVERABLE_EXCEPTIONS as exc:
+                last_error = str(exc)
+                record_recovery(
+                    RecoveryEvent(
+                        site=_SITE_ROTATION,
+                        strategy="skip",
+                        attempt=restart + 1,
+                        error=last_error,
+                        detail=f"restart {restart}",
+                    )
+                )
+                continue
+            if np.isfinite(obj) and obj > best_obj:
                 best_obj = obj
                 best = (rot, labels)
-    assert best is not None
+    if best is None:
+        raise RecoveryExhaustedError(
+            f"all {n_restarts} rotation restarts failed: {last_error}",
+            site=_SITE_ROTATION,
+            attempts=n_restarts,
+            context=matrix_context(f, "f"),
+        )
     return best

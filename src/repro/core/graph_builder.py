@@ -20,7 +20,22 @@ from repro.graph.laplacian import laplacian
 from repro.observability.trace import span
 from repro.pipeline.cache import cache_key, current_cache
 from repro.pipeline.parallel import parallel_map, resolve_jobs
+from repro.robust.faults import register_fault_site
+from repro.robust.policy import matrix_context, run_with_policy
 from repro.utils.validation import check_views
+
+_SITE_AFFINITY = register_fault_site(
+    "graph.affinity", "one per-view affinity construction (build_view_affinity)"
+)
+
+
+def _robust_view_affinity(x: np.ndarray, kind: str, k: int) -> np.ndarray:
+    """One view's affinity under the failure policy (retry-only site)."""
+    return run_with_policy(
+        _SITE_AFFINITY,
+        lambda perturb: build_view_affinity(x, kind=kind, k=k),
+        context=lambda: matrix_context(x, "view"),
+    )
 
 
 def _looks_text_like(x: np.ndarray) -> bool:
@@ -91,8 +106,8 @@ def build_multiview_affinities(
             "view_affinity_parallel", n_views=len(missing), n_jobs=jobs
         ):
             computed = parallel_map(
-                lambda i: build_view_affinity(
-                    views[i], kind=kinds[i], k=n_neighbors
+                lambda i: _robust_view_affinity(
+                    views[i], kinds[i], n_neighbors
                 ),
                 missing,
                 n_jobs=jobs,
@@ -104,7 +119,7 @@ def build_multiview_affinities(
                 "view_affinity", view=i, kind=kinds[i], n=views[i].shape[0]
             ):
                 computed.append(
-                    build_view_affinity(views[i], kind=kinds[i], k=n_neighbors)
+                    _robust_view_affinity(views[i], kinds[i], n_neighbors)
                 )
     for i, w in zip(missing, computed):
         if cache is not None:

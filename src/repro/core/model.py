@@ -55,6 +55,7 @@ from repro.core.weights import update_view_weights, weight_exponents
 from repro.exceptions import (
     ConvergenceWarning,
     MonotonicityWarning,
+    RecoveryExhaustedError,
     ValidationError,
 )
 from repro.graph.laplacian import laplacian
@@ -67,8 +68,24 @@ from repro.observability.events import (
 )
 from repro.observability.trace import span
 from repro.linalg.procrustes import nearest_orthogonal
+from repro.robust.faults import maybe_inject, register_fault_site
+from repro.robust.policy import (
+    collect_recoveries,
+    failure_guard,
+    matrix_context,
+    run_with_policy,
+)
 from repro.utils.rng import check_random_state
 from repro.utils.validation import check_symmetric
+
+_SITE_FIT = register_fault_site(
+    "model.fit",
+    "whole UnifiedMVSC/AnchorMVSC/SparseMVSC fit body (outer guard)",
+    modes=("raise", "delay"),
+)
+_SITE_GPI_SOLVE = register_fault_site(
+    "gpi.solve", "full F-step GPI solve (falls back to a plain eigensolve)"
+)
 
 
 class UnifiedMVSC:
@@ -189,14 +206,15 @@ class UnifiedMVSC:
             Per-view feature matrices sharing rows.
         """
         cfg = self.config
-        with span("graph_build", kind=cfg.graph, n_views=len(views)):
-            affinities = build_multiview_affinities(
-                views,
-                kind=cfg.graph,
-                n_neighbors=cfg.n_neighbors,
-                n_jobs=cfg.n_jobs,
-            )
-        return self.fit_affinities(affinities)
+        with collect_recoveries(), failure_guard(_SITE_FIT):
+            with span("graph_build", kind=cfg.graph, n_views=len(views)):
+                affinities = build_multiview_affinities(
+                    views,
+                    kind=cfg.graph,
+                    n_neighbors=cfg.n_neighbors,
+                    n_jobs=cfg.n_jobs,
+                )
+            return self.fit_affinities(affinities)
 
     def fit_predict(self, views) -> np.ndarray:
         """Convenience: :meth:`fit` and return only the labels."""
@@ -209,7 +227,23 @@ class UnifiedMVSC:
         ----------
         affinities : sequence of ndarray (n, n)
             Symmetric non-negative per-view affinity matrices.
+
+        Raises
+        ------
+        ReproError
+            The only exception surface: invalid input raises
+            :class:`~repro.exceptions.ValidationError`, and numerical
+            failure that survives every recovery strategy raises
+            :class:`~repro.exceptions.RecoveryExhaustedError` — a raw
+            numpy/scipy exception never escapes.  Recovery actions taken
+            along the way are recorded on ``result.diagnostics.recoveries``.
         """
+        with collect_recoveries() as recoveries, failure_guard(_SITE_FIT):
+            maybe_inject(_SITE_FIT)
+            return self._fit_affinities(affinities, recoveries)
+
+    def _fit_affinities(self, affinities, recoveries: list) -> UMSCResult:
+        """Body of :meth:`fit_affinities`, run under the failure guard."""
         cfg = self.config
         affinities = [
             check_symmetric(w, f"affinities[{i}]") for i, w in enumerate(affinities)
@@ -271,16 +305,11 @@ class UnifiedMVSC:
             tick = time.perf_counter()
             with span("f_step", iteration=n_iter) as f_span:
                 if cfg.lam > 0:
-                    gpi = gpi_stiefel(
-                        fused_lap,
-                        cfg.lam * (g @ r.T),
-                        f0=f,
-                        max_iter=cfg.gpi_max_iter,
-                        tol=cfg.gpi_tol,
+                    f, gpi_iterations = self._solve_f_block(
+                        fused_lap, g, r, f
                     )
-                    f = gpi.f
-                    gpi_iterations = gpi.n_iter
-                    f_span.set(gpi_iterations=gpi.n_iter)
+                    if gpi_iterations is not None:
+                        f_span.set(gpi_iterations=gpi_iterations)
                 else:
                     _, f = eigsh_smallest(fused_lap, c)
             block_seconds["f_step"] = time.perf_counter() - tick
@@ -334,6 +363,14 @@ class UnifiedMVSC:
                     fused_lap, f, r, scaled_indicator(labels, c), lam=cfg.lam
                 )
             block_seconds["objective"] += time.perf_counter() - tick
+            if not (np.isfinite(obj) and np.isfinite(obj_pre)):
+                raise RecoveryExhaustedError(
+                    f"objective became non-finite at iteration {n_iter} "
+                    f"(pre-reweight {obj_pre!r}, recorded {obj!r})",
+                    site=_SITE_FIT,
+                    attempts=n_iter,
+                    context=matrix_context(fused_lap, "fused_lap"),
+                )
             scale = max(abs(obj), 1.0)
             rel_change = (
                 abs(prev - obj) / scale if np.isfinite(prev) else None
@@ -408,7 +445,58 @@ class UnifiedMVSC:
             objective_history=history,
             n_iter=n_iter,
             converged=converged,
-            diagnostics=FitDiagnostics(events=tuple(events)),
+            diagnostics=FitDiagnostics(
+                events=tuple(events), recoveries=tuple(recoveries)
+            ),
+        )
+
+    def _solve_f_block(
+        self,
+        fused_lap: np.ndarray,
+        g: np.ndarray,
+        r: np.ndarray,
+        f: np.ndarray,
+    ) -> tuple[np.ndarray, int | None]:
+        """F-step under the failure policy: GPI, retried, then eigensolve.
+
+        The primary is the plain GPI solve (bit-identical to calling
+        :func:`~repro.linalg.gpi.gpi_stiefel` directly); retries re-run it
+        from a deterministically perturbed warm start, and the fallback
+        drops the linear coupling term and takes the bottom eigenvectors
+        of the fused operator (the ``lam = 0`` subproblem), which always
+        yields a feasible Stiefel point.
+
+        Returns
+        -------
+        (f, gpi_iterations)
+            New embedding and inner iteration count (``None`` when the
+            eigensolve fallback produced ``f``).
+        """
+        cfg = self.config
+        n, c = f.shape
+        b = cfg.lam * (g @ r.T)
+
+        def primary(perturb: float) -> tuple[np.ndarray, int | None]:
+            f0 = f if perturb == 0.0 else nearest_orthogonal(
+                f + perturb * np.eye(n, c)
+            )
+            gpi = gpi_stiefel(
+                fused_lap,
+                b,
+                f0=f0,
+                max_iter=cfg.gpi_max_iter,
+                tol=cfg.gpi_tol,
+            )
+            return gpi.f, gpi.n_iter
+
+        def eigensolve() -> tuple[np.ndarray, int | None]:
+            return eigsh_smallest(fused_lap, c)[1], None
+
+        return run_with_policy(
+            _SITE_GPI_SOLVE,
+            primary,
+            fallbacks=(("eigsh", eigensolve),),
+            context=lambda: matrix_context(fused_lap, "fused_lap"),
         )
 
     @staticmethod

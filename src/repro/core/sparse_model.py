@@ -31,8 +31,16 @@ from repro.linalg.procrustes import nearest_orthogonal
 from repro.observability.events import IterationEvent, dispatch_event
 from repro.observability.trace import span
 from repro.pipeline.cache import memoized_parallel
+from repro.robust.faults import maybe_inject, register_fault_site
+from repro.robust.policy import failure_guard
 from repro.utils.rng import check_random_state
 from repro.utils.validation import check_views
+
+_SITE_FIT = register_fault_site(
+    "model.fit",
+    "whole UnifiedMVSC/AnchorMVSC/SparseMVSC fit body (outer guard)",
+    modes=("raise", "delay"),
+)
 
 
 class SparseMVSC:
@@ -105,7 +113,17 @@ class SparseMVSC:
         )
 
     def fit_predict(self, views) -> np.ndarray:
-        """Cluster raw multi-view features with sparse graphs throughout."""
+        """Cluster raw multi-view features with sparse graphs throughout.
+
+        Runs under the unified failure guard: only
+        :class:`~repro.exceptions.ReproError` subclasses can escape.
+        """
+        with failure_guard(_SITE_FIT):
+            maybe_inject(_SITE_FIT)
+            return self._fit_predict(views)
+
+    def _fit_predict(self, views) -> np.ndarray:
+        """Body of :meth:`fit_predict`, run under the failure guard."""
         views = check_views(views)
         n = views[0].shape[0]
         c = self.n_clusters

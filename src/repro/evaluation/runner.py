@@ -27,7 +27,15 @@ from repro.metrics import METRICS, evaluate_clustering
 from repro.observability.trace import Trace, use_trace
 from repro.pipeline.cache import ComputationCache, use_cache
 from repro.pipeline.parallel import use_jobs
+from repro.robust.faults import maybe_inject, register_fault_site
+from repro.robust.policy import failure_guard
 from repro.utils.rng import spawn_seeds
+
+_SITE_RUN = register_fault_site(
+    "runner.run",
+    "one seeded method run inside the experiment runner",
+    modes=("raise", "delay"),
+)
 
 
 @dataclass(frozen=True)
@@ -84,31 +92,35 @@ def run_method_once(
     if trace is not None:
         with use_trace(trace):
             return run_method_once(spec, dataset, seed, metrics=metrics)
-    start = time.perf_counter()
-    if spec.oracle is not None:
-        per_view = all_single_view_labels(
-            dataset.views, dataset.n_clusters, random_state=seed
-        )
+    with failure_guard(_SITE_RUN):
+        maybe_inject(_SITE_RUN)
+        start = time.perf_counter()
+        if spec.oracle is not None:
+            per_view = all_single_view_labels(
+                dataset.views, dataset.n_clusters, random_state=seed
+            )
+            elapsed = time.perf_counter() - start
+            candidates = [
+                evaluate_clustering(
+                    dataset.labels, labels, metrics=tuple(metrics)
+                )
+                for labels in per_view
+            ]
+            select = max if spec.oracle == "best" else min
+            chosen = {
+                m: select(c[m] for c in candidates) for m in metrics
+            }
+            return chosen, elapsed
+        if spec.uses_dataset:
+            estimator = spec.builder(dataset.n_clusters, seed, dataset.name)
+        else:
+            estimator = spec.builder(dataset.n_clusters, seed)
+        labels = estimator.fit_predict(dataset.views)
         elapsed = time.perf_counter() - start
-        candidates = [
-            evaluate_clustering(dataset.labels, labels, metrics=tuple(metrics))
-            for labels in per_view
-        ]
-        select = max if spec.oracle == "best" else min
-        chosen = {
-            m: select(c[m] for c in candidates) for m in metrics
-        }
-        return chosen, elapsed
-    if spec.uses_dataset:
-        estimator = spec.builder(dataset.n_clusters, seed, dataset.name)
-    else:
-        estimator = spec.builder(dataset.n_clusters, seed)
-    labels = estimator.fit_predict(dataset.views)
-    elapsed = time.perf_counter() - start
-    return (
-        evaluate_clustering(dataset.labels, labels, metrics=tuple(metrics)),
-        elapsed,
-    )
+        return (
+            evaluate_clustering(dataset.labels, labels, metrics=tuple(metrics)),
+            elapsed,
+        )
 
 
 def run_experiment(

@@ -24,6 +24,37 @@ class NumericalError(ReproError, ArithmeticError):
     """Raised when a numerical routine produces non-finite or unusable output."""
 
 
+class RecoveryExhaustedError(NumericalError):
+    """A numerical kernel failed and every recovery strategy was spent.
+
+    Raised by the :mod:`repro.robust` failure policy (and its
+    ``failure_guard``) instead of letting a raw numpy/scipy exception
+    escape; carries machine-readable context alongside the message.
+
+    Attributes
+    ----------
+    site : str
+        The registered fault/policy site that failed (``"eigen.lanczos"``,
+        ``"model.fit"``, ...).
+    attempts : int
+        Total attempts consumed (primary + retries + fallbacks).
+    context : str
+        Matrix-conditioning summary captured at failure time (shape,
+        finite fraction, norms), for post-mortem without the data.
+    """
+
+    def __init__(
+        self, message: str, *, site: str = "", attempts: int = 0, context: str = ""
+    ) -> None:
+        parts = [f"[site={site or '?'} attempts={attempts}] {message}"]
+        if context:
+            parts.append(f"context: {context}")
+        super().__init__(" | ".join(parts))
+        self.site = site
+        self.attempts = attempts
+        self.context = context
+
+
 class ConvergenceWarning(UserWarning):
     """Warning emitted when an iterative solver stops before converging."""
 

@@ -30,7 +30,11 @@ from repro.graph.affinity import (
     self_tuning_affinity,
     symmetrize,
 )
-from repro.graph.connectivity import connected_components, is_connected
+from repro.graph.connectivity import (
+    connected_components,
+    is_connected,
+    isolated_vertices,
+)
 from repro.graph.distance import pairwise_cosine_distances, pairwise_sq_euclidean
 from repro.graph.fusion import fuse_affinities, fuse_laplacians
 from repro.graph.knn import kneighbors
@@ -60,6 +64,7 @@ __all__ = [
     "symmetrize",
     "connected_components",
     "is_connected",
+    "isolated_vertices",
     "pairwise_cosine_distances",
     "pairwise_sq_euclidean",
     "fuse_affinities",

@@ -65,13 +65,21 @@ def laplacian(w: np.ndarray, *, normalization: str = "symmetric") -> np.ndarray:
     n = w.shape[0]
     if normalization == "unnormalized":
         return np.diag(d) - w
+    iso = d <= 0.0
     if normalization == "symmetric":
         a = normalized_adjacency(w)
         lap = np.eye(n) - a
+        # Zero-degree vertices carry no normalized adjacency mass, so
+        # ``I - A`` would leave a spurious 1 on their diagonal; zeroing it
+        # keeps them exact null-space directions (the scipy convention and
+        # what the component-counting argument for the null space assumes).
+        lap[iso, iso] = 0.0
         return (lap + lap.T) / 2.0
     if normalization == "random_walk":
         with np.errstate(divide="ignore"):
             inv = 1.0 / d
         inv[~np.isfinite(inv)] = 0.0
-        return np.eye(n) - inv[:, None] * w
+        lap = np.eye(n) - inv[:, None] * w
+        lap[iso, iso] = 0.0
+        return lap
     raise ValidationError(f"unknown normalization: {normalization!r}")

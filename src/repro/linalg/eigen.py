@@ -4,10 +4,18 @@ Spectral clustering needs the ``k`` smallest eigenvectors of a graph
 Laplacian (or the ``k`` largest of a normalized affinity).  For the problem
 sizes of the paper's benchmarks (n up to a few thousand) a dense ``eigh`` is
 both the fastest and the most robust choice; for larger sparse problems we
-fall back to Lanczos (:func:`scipy.sparse.linalg.eigsh`).  A Lanczos run
-that fails to converge (``ArpackNoConvergence``) falls back to the dense
-path — counted via the ``eigsh.arpack_fallback`` metric — and only raises
-:class:`~repro.exceptions.NumericalError` if the dense solve fails too.
+fall back to Lanczos (:func:`scipy.sparse.linalg.eigsh`).
+
+Every solve runs under the unified failure policy
+(:func:`repro.robust.policy.run_with_policy`): a failing solve is retried
+with a deterministic diagonal shift (eigenvectors are unchanged and the
+shift is subtracted from the eigenvalues, so a successful retry is exact),
+a Lanczos run that still fails falls back to the dense path — counted via
+the ``eigsh.arpack_fallback`` metric — and only a fully exhausted policy
+raises :class:`~repro.exceptions.RecoveryExhaustedError` (a
+:class:`~repro.exceptions.NumericalError`).  The registered fault sites
+``eigen.full``, ``eigen.dense``, and ``eigen.lanczos`` let tests inject
+failures at each path (see :mod:`repro.robust`).
 
 All three entry points are pure functions of their inputs, so they
 memoize through the ambient :mod:`repro.pipeline` cache when one is
@@ -25,10 +33,31 @@ import scipy.sparse.linalg
 from repro.exceptions import NumericalError, ValidationError
 from repro.observability.trace import metric_inc, span
 from repro.pipeline.cache import current_cache
+from repro.robust.faults import register_fault_site
+from repro.robust.policy import matrix_context, run_with_policy
 from repro.utils.validation import check_square
 
 #: Above this dimension, prefer Lanczos when k << n and the matrix is sparse.
 _DENSE_CUTOFF = 4096
+
+_SITE_FULL = register_fault_site(
+    "eigen.full", "full dense eigendecomposition (sorted_eigh)"
+)
+_SITE_DENSE = register_fault_site(
+    "eigen.dense", "dense extremal eigenpairs (LAPACK subset eigh)"
+)
+_SITE_LANCZOS = register_fault_site(
+    "eigen.lanczos", "sparse Lanczos extremal eigenpairs (ARPACK eigsh)"
+)
+
+
+def _shift_scale(a) -> float:
+    """Deterministic magnitude for perturbed-retry diagonal shifts."""
+    if scipy.sparse.issparse(a):
+        peak = float(abs(a).max()) if a.nnz else 0.0
+    else:
+        peak = float(np.max(np.abs(a))) if a.size else 0.0
+    return max(1.0, peak)
 
 
 def sorted_eigh(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -55,11 +84,24 @@ def sorted_eigh(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
 
 
 def _sorted_eigh(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    a = (a + a.T) / 2.0
-    values, vectors = scipy.linalg.eigh(a)
-    if not np.all(np.isfinite(values)):
-        raise NumericalError("eigendecomposition produced non-finite eigenvalues")
-    return values, vectors
+    sym = (a + a.T) / 2.0
+    n = sym.shape[0]
+
+    def primary(perturb: float) -> tuple[np.ndarray, np.ndarray]:
+        shift = perturb * _shift_scale(sym)
+        mat = sym if shift == 0.0 else sym + shift * np.eye(n)
+        values, vectors = scipy.linalg.eigh(mat)
+        if shift != 0.0:
+            values = values - shift
+        if not np.all(np.isfinite(values)):
+            raise NumericalError(
+                "eigendecomposition produced non-finite eigenvalues"
+            )
+        return values, vectors
+
+    return run_with_policy(
+        _SITE_FULL, primary, context=lambda: matrix_context(sym, "a")
+    )
 
 
 def _validate_k(n: int, k: int) -> None:
@@ -68,29 +110,34 @@ def _validate_k(n: int, k: int) -> None:
 
 
 def _lanczos(a, k: int, *, which: str) -> tuple[np.ndarray, np.ndarray]:
-    """Sparse Lanczos with a dense fallback on ARPACK non-convergence."""
+    """Sparse Lanczos under the failure policy, dense path as fallback."""
     n = a.shape[0]
     label = "smallest" if which == "SA" else "largest"
-    metric_inc("eigsh.calls")
-    try:
+
+    def primary(perturb: float) -> tuple[np.ndarray, np.ndarray]:
+        shift = perturb * _shift_scale(a)
+        mat = a if shift == 0.0 else a + shift * scipy.sparse.identity(n)
+        metric_inc("eigsh.calls")
         with span("eigsh", n=n, k=k, which=label, path="lanczos"):
-            return scipy.sparse.linalg.eigsh(a, k=k, which=which)
-    except scipy.sparse.linalg.ArpackNoConvergence as exc:
+            values, vectors = scipy.sparse.linalg.eigsh(mat, k=k, which=which)
+        if shift != 0.0:
+            values = values - shift
+        return values, vectors
+
+    def dense() -> tuple[np.ndarray, np.ndarray]:
         metric_inc("eigsh.arpack_fallback")
-        dense = np.asarray(a.todense())
-        try:
-            if which == "SA":
-                values, vectors = _dense_extremal(dense, k, smallest=True)
-            else:
-                values, vectors = _dense_extremal(dense, k, smallest=False)
-                values, vectors = values[::-1], vectors[:, ::-1]
-            return values, vectors
-        except Exception as dense_exc:
-            raise NumericalError(
-                f"Lanczos failed to converge for n={n}, k={k} "
-                f"(which={label!r}) and the dense fallback also failed: "
-                f"{dense_exc}"
-            ) from exc
+        mat = np.asarray(a.todense())
+        if which == "SA":
+            return _dense_extremal(mat, k, smallest=True)
+        values, vectors = _dense_extremal(mat, k, smallest=False)
+        return values[::-1], vectors[:, ::-1]
+
+    return run_with_policy(
+        _SITE_LANCZOS,
+        primary,
+        fallbacks=(("dense", dense),),
+        context=lambda: matrix_context(a, "a"),
+    )
 
 
 def _dense_extremal(
@@ -99,15 +146,38 @@ def _dense_extremal(
     """``k`` extremal eigenpairs of a dense symmetric matrix, ascending."""
     a = check_square(a, "a")
     n = a.shape[0]
-    a = (a + a.T) / 2.0
-    metric_inc("eigsh.calls")
+    sym = (a + a.T) / 2.0
     subset = (0, k - 1) if smallest else (n - k, n - 1)
     label = "smallest" if smallest else "largest"
-    with span("eigsh", n=n, k=k, which=label, path="dense"):
-        values, vectors = scipy.linalg.eigh(a, subset_by_index=subset)
-    if not np.all(np.isfinite(values)):
-        raise NumericalError("eigendecomposition produced non-finite eigenvalues")
-    return values, vectors
+
+    def primary(perturb: float) -> tuple[np.ndarray, np.ndarray]:
+        shift = perturb * _shift_scale(sym)
+        mat = sym if shift == 0.0 else sym + shift * np.eye(n)
+        metric_inc("eigsh.calls")
+        with span("eigsh", n=n, k=k, which=label, path="dense"):
+            values, vectors = scipy.linalg.eigh(mat, subset_by_index=subset)
+        if shift != 0.0:
+            values = values - shift
+        if not np.all(np.isfinite(values)):
+            raise NumericalError(
+                "eigendecomposition produced non-finite eigenvalues"
+            )
+        return values, vectors
+
+    def full() -> tuple[np.ndarray, np.ndarray]:
+        # Different LAPACK driver (full spectrum, then slice): survives
+        # the occasional subset-driver failure and any injected fault on
+        # the primary path.
+        values, vectors = scipy.linalg.eigh(sym)
+        lo, hi = subset
+        return values[lo : hi + 1], vectors[:, lo : hi + 1]
+
+    return run_with_policy(
+        _SITE_DENSE,
+        primary,
+        fallbacks=(("full", full),),
+        context=lambda: matrix_context(sym, "a"),
+    )
 
 
 def _eigsh_smallest(a, k: int) -> tuple[np.ndarray, np.ndarray]:
@@ -139,7 +209,7 @@ def eigsh_smallest(a, k: int) -> tuple[np.ndarray, np.ndarray]:
     Accepts dense arrays or scipy sparse matrices.  Dense path uses LAPACK's
     ``eigh`` with an index subset; the sparse path uses shift-invert-free
     Lanczos with ``sigma=None, which='SA'`` and falls back to the dense
-    path if ARPACK fails to converge.
+    path if ARPACK fails to converge (via the unified failure policy).
 
     Returns
     -------

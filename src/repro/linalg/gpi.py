@@ -26,7 +26,12 @@ import numpy as np
 from repro.exceptions import NumericalError, ValidationError
 from repro.linalg.procrustes import nearest_orthogonal
 from repro.observability.trace import metric_observe, span
+from repro.robust.faults import maybe_inject, register_fault_site
 from repro.utils.validation import check_matrix, check_symmetric
+
+_SITE_ITERATE = register_fault_site(
+    "gpi.iterate", "one generalized power iteration step (M = 2(eta I - A)F + 2B)"
+)
 
 
 @dataclass(frozen=True)
@@ -125,7 +130,7 @@ def gpi_stiefel(
     n_iter = 0
     with span("gpi", n=n, k=k) as gpi_span:
         for n_iter in range(1, max_iter + 1):
-            m = 2.0 * (shifted @ f) + 2.0 * b
+            m = maybe_inject(_SITE_ITERATE, 2.0 * (shifted @ f) + 2.0 * b)
             if not np.all(np.isfinite(m)):
                 raise NumericalError("GPI produced non-finite iterate")
             f = nearest_orthogonal(m)

@@ -16,7 +16,21 @@ import numpy as np
 import scipy.linalg
 
 from repro.exceptions import NumericalError
+from repro.robust.faults import register_fault_site
+from repro.robust.policy import matrix_context, run_with_policy
 from repro.utils.validation import check_matrix
+
+_SITE_SVD = register_fault_site(
+    "procrustes.svd", "polar factor via thin SVD (nearest_orthogonal)"
+)
+
+
+def _qr_polar(m: np.ndarray) -> np.ndarray:
+    """Sign-corrected thin QR as a degraded stand-in for the polar factor."""
+    q, r = np.linalg.qr(m)
+    signs = np.sign(np.diag(r))
+    signs[signs == 0.0] = 1.0
+    return q * signs
 
 
 def nearest_orthogonal(m: np.ndarray) -> np.ndarray:
@@ -42,11 +56,20 @@ def nearest_orthogonal(m: np.ndarray) -> np.ndarray:
         raise NumericalError(
             f"nearest_orthogonal requires p >= q, got shape {m.shape}"
         )
-    try:
-        u, _, vt = scipy.linalg.svd(m, full_matrices=False)
-    except scipy.linalg.LinAlgError as exc:  # pragma: no cover - rare
-        raise NumericalError(f"SVD failed in nearest_orthogonal: {exc}") from exc
-    return u @ vt
+    p, q = m.shape
+    scale = max(1.0, float(np.max(np.abs(m)))) if m.size else 1.0
+
+    def primary(perturb: float) -> np.ndarray:
+        mat = m if perturb == 0.0 else m + (perturb * scale) * np.eye(p, q)
+        u, _, vt = scipy.linalg.svd(mat, full_matrices=False)
+        return u @ vt
+
+    return run_with_policy(
+        _SITE_SVD,
+        primary,
+        fallbacks=(("qr", lambda: _qr_polar(m)),),
+        context=lambda: matrix_context(m, "m"),
+    )
 
 
 def orthogonal_procrustes(a: np.ndarray, b: np.ndarray) -> np.ndarray:

@@ -137,9 +137,19 @@ class FitDiagnostics:
     Attached to :class:`~repro.core.result.UMSCResult` as
     ``result.diagnostics``; always recorded (one small event per outer
     iteration) whether or not tracing is active.
+
+    Attributes
+    ----------
+    events : tuple of IterationEvent
+        One entry per outer iteration.
+    recoveries : tuple of repro.robust.RecoveryEvent
+        Every recovery action the failure policy took during the fit
+        (perturbed retries, fallbacks, skipped restarts); empty on a
+        clean run.
     """
 
     events: tuple = ()
+    recoveries: tuple = ()
 
     def __len__(self) -> int:
         return len(self.events)

@@ -1,0 +1,200 @@
+"""Property-based degenerate-input tests: the failure surface is sealed.
+
+The contract under test (see ``docs/robustness.md``): for *any* input a
+user can plausibly construct — duplicated rows, constant features, a
+single cluster, as many clusters as samples, disconnected k-NN graphs —
+``UnifiedMVSC.fit`` either succeeds with valid labels and a fully finite
+objective history, or raises a :class:`~repro.exceptions.ReproError`
+subclass.  A raw numpy/scipy/ARPACK exception or a silently-NaN objective
+is always a bug.
+
+Deterministic spot-checks of the same territory live in
+``test_robustness.py``; this module sweeps it with hypothesis, following
+the ``test_graph_distance.py`` idiom, plus the shared degenerate fixtures
+from ``conftest.py``.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.model import UnifiedMVSC
+from repro.evaluation.registry import default_method_registry
+from repro.evaluation.runner import run_method_once
+from repro.exceptions import ConvergenceWarning, ReproError
+
+DEGENERATE_SETTINGS = settings(
+    deadline=None,
+    max_examples=15,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@pytest.fixture(autouse=True)
+def _silence_convergence():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", ConvergenceWarning)
+        yield
+
+
+def assert_fit_contract(views, n_clusters, **kwargs):
+    """Fit must yield valid labels + finite objective, or raise ReproError.
+
+    Returns the result on success and ``None`` when the library refused
+    the input through its documented error surface.
+    """
+    try:
+        result = UnifiedMVSC(n_clusters, random_state=0, **kwargs).fit(views)
+    except ReproError:
+        return None
+    n = views[0].shape[0]
+    assert result.labels.shape == (n,)
+    assert result.labels.dtype.kind == "i"
+    assert result.labels.min() >= 0
+    assert result.labels.max() < n_clusters
+    history = np.asarray(result.objective_history, dtype=float)
+    assert np.all(np.isfinite(history)), "silent NaN/Inf objective"
+    return result
+
+
+small_matrix = arrays(
+    np.float64,
+    st.tuples(st.integers(8, 14), st.integers(2, 4)),
+    elements=st.floats(-10, 10, allow_nan=False),
+)
+
+
+class TestDuplicatedRows:
+    @DEGENERATE_SETTINGS
+    @given(small_matrix)
+    def test_appended_duplicates(self, x):
+        # Duplicate the first third of the rows verbatim: zero pairwise
+        # distances inside the k-NN graph, ties everywhere.
+        dup = np.vstack([x, x[: max(1, x.shape[0] // 3)]])
+        assert_fit_contract([dup], 2)
+
+    @DEGENERATE_SETTINGS
+    @given(small_matrix, st.integers(0, 7))
+    def test_one_row_repeated_many_times(self, x, row):
+        x = x.copy()
+        x[x.shape[0] // 2 :] = x[row % x.shape[0]]
+        assert_fit_contract([x], 2)
+
+    def test_duplicated_dataset_fixture(self, duplicated_dataset):
+        result = assert_fit_contract(duplicated_dataset.views, 2)
+        assert result is not None  # this one must actually succeed
+
+
+class TestConstantFeatures:
+    @DEGENERATE_SETTINGS
+    @given(small_matrix, st.floats(-5, 5, allow_nan=False))
+    def test_constant_column(self, x, value):
+        x = x.copy()
+        x[:, 0] = value
+        assert_fit_contract([x], 2)
+
+    @DEGENERATE_SETTINGS
+    @given(
+        st.integers(8, 14),
+        st.integers(2, 4),
+        st.floats(-5, 5, allow_nan=False),
+    )
+    def test_entirely_constant_view(self, n, d, value):
+        # All rows identical: every pairwise distance is zero, the
+        # affinity is degenerate, and the Laplacian null space is the
+        # whole graph.  Refusing via ReproError is acceptable; crashing
+        # with a LinAlgError is not.
+        x = np.full((n, d), value)
+        assert_fit_contract([x], 2)
+
+    def test_single_informative_fixture(self, single_informative_dataset):
+        result = assert_fit_contract(single_informative_dataset.views, 3)
+        assert result is not None
+
+
+class TestClusterCountExtremes:
+    @DEGENERATE_SETTINGS
+    @given(small_matrix)
+    def test_single_cluster(self, x):
+        result = assert_fit_contract([x], 1)
+        if result is not None:
+            assert set(result.labels.tolist()) == {0}
+
+    @DEGENERATE_SETTINGS
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(5, 8), st.integers(2, 3)),
+            elements=st.floats(-10, 10, allow_nan=False),
+        )
+    )
+    def test_n_clusters_equals_n_samples(self, x):
+        assert_fit_contract([x], x.shape[0], n_neighbors=3)
+
+    @DEGENERATE_SETTINGS
+    @given(small_matrix, st.integers(2, 6))
+    def test_arbitrary_cluster_counts(self, x, k):
+        assert_fit_contract([x], k, n_neighbors=4)
+
+
+class TestDisconnectedGraphs:
+    @DEGENERATE_SETTINGS
+    @given(st.floats(50, 1e6), st.integers(4, 7))
+    def test_far_apart_blobs_disconnect_knn(self, separation, blob):
+        # Two blobs further apart than any within-blob distance with a
+        # k-NN parameter smaller than either blob: the graph splits into
+        # (at least) two components.
+        rng = np.random.default_rng(17)
+        x = np.vstack(
+            [
+                rng.normal(size=(blob, 3)),
+                rng.normal(size=(blob, 3)) + separation,
+            ]
+        )
+        result = assert_fit_contract([x], 2, n_neighbors=2)
+        if result is not None:
+            # Components this clean should actually be separated.
+            first, second = result.labels[:blob], result.labels[blob:]
+            assert len(set(first.tolist())) == 1
+            assert len(set(second.tolist())) == 1
+            assert first[0] != second[0]
+
+    def test_isolated_vertex_in_affinity(self):
+        w = np.zeros((10, 10))
+        w[:5, :5] = 1.0
+        w[5:, 5:] = 1.0
+        np.fill_diagonal(w, 0.0)
+        w[0, :] = 0.0
+        w[:, 0] = 0.0  # vertex 0 fully isolated
+        try:
+            result = UnifiedMVSC(2, random_state=0).fit_affinities([w])
+        except ReproError:
+            return
+        assert result.labels.shape == (10,)
+        assert np.all(np.isfinite(result.embedding))
+
+
+class TestSharedDegenerateFixtures:
+    def test_fit_contract_on_every_fixture(self, degenerate_dataset):
+        result = assert_fit_contract(
+            degenerate_dataset.views, degenerate_dataset.n_clusters
+        )
+        assert result is not None
+        # Diagnostics (including the recovery log) are always attached.
+        assert result.diagnostics is not None
+        assert isinstance(result.diagnostics.recoveries, tuple)
+
+    def test_runner_contract_on_outliers(self, outlier_dataset):
+        # The experiment runner shares the sealed failure surface: a
+        # degenerate dataset yields metrics or a ReproError, nothing else.
+        spec = default_method_registry()["UMSC"]
+        try:
+            metrics, seconds = run_method_once(spec, outlier_dataset, 0)
+        except ReproError:
+            return
+        assert set(metrics) == {"acc", "nmi", "purity"}
+        assert all(np.isfinite(v) for v in metrics.values())

@@ -26,6 +26,8 @@ MODULE_NAMES = [
     "repro.observability.trace",
     "repro.pipeline.cache",
     "repro.pipeline.parallel",
+    "repro.robust.faults",
+    "repro.robust.policy",
 ]
 
 

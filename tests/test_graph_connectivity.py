@@ -2,7 +2,11 @@
 
 import numpy as np
 
-from repro.graph.connectivity import connected_components, is_connected
+from repro.graph.connectivity import (
+    connected_components,
+    is_connected,
+    isolated_vertices,
+)
 
 
 def _block_graph(sizes):
@@ -54,3 +58,47 @@ class TestConnectedComponents:
         w[0, 1] = 1.0  # asymmetric entry
         labels = connected_components(w)
         assert labels[0] == labels[1] != labels[2]
+
+
+class TestIsolatedVertices:
+    def test_none_isolated(self):
+        assert isolated_vertices(_block_graph([4])).size == 0
+
+    def test_all_isolated(self):
+        np.testing.assert_array_equal(
+            isolated_vertices(np.zeros((3, 3))), [0, 1, 2]
+        )
+
+    def test_detects_zeroed_vertex(self):
+        w = _block_graph([5])
+        w[2, :] = 0.0
+        w[:, 2] = 0.0
+        np.testing.assert_array_equal(isolated_vertices(w), [2])
+
+    def test_diagonal_ignored(self):
+        # A self-loop is not an incident edge: the vertex stays isolated.
+        w = np.zeros((3, 3))
+        w[0, 0] = 5.0
+        w[1, 2] = w[2, 1] = 1.0
+        np.testing.assert_array_equal(isolated_vertices(w), [0])
+
+    def test_asymmetric_edge_counts(self):
+        w = np.zeros((3, 3))
+        w[0, 1] = 1.0  # edge in one direction only
+        np.testing.assert_array_equal(isolated_vertices(w), [2])
+
+    def test_tolerance_threshold(self):
+        w = np.zeros((2, 2))
+        w[0, 1] = w[1, 0] = 1e-6
+        assert isolated_vertices(w, tol=0.0).size == 0
+        np.testing.assert_array_equal(
+            isolated_vertices(w, tol=1e-3), [0, 1]
+        )
+
+    def test_consistent_with_components(self):
+        w = _block_graph([3, 1, 2])  # the singleton block is isolated
+        iso = isolated_vertices(w)
+        labels = connected_components(w)
+        counts = np.bincount(labels)
+        singletons = np.flatnonzero(counts[labels] == 1)
+        np.testing.assert_array_equal(iso, singletons)

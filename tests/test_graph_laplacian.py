@@ -80,6 +80,57 @@ class TestLaplacian:
             laplacian(_random_affinity(), normalization="weird")
 
 
+class TestIsolatedVertices:
+    """Zero-degree vertices must be exact null-space directions.
+
+    Regression tests: the normalized Laplacians used to leave a spurious
+    1 on an isolated vertex's diagonal (from the ``I`` in ``I - A``),
+    breaking the components-equal-nullity identity the spectral embedding
+    relies on.
+    """
+
+    def _affinity_with_isolated(self):
+        w = _random_affinity(n=8, seed=9)
+        w[0, :] = 0.0
+        w[:, 0] = 0.0  # vertex 0 isolated
+        return w
+
+    def test_symmetric_diagonal_zero_on_isolated(self):
+        lap = laplacian(self._affinity_with_isolated())
+        assert lap[0, 0] == 0.0
+        np.testing.assert_allclose(lap[0, :], 0.0)
+        np.testing.assert_allclose(lap[:, 0], 0.0)
+
+    def test_random_walk_diagonal_zero_on_isolated(self):
+        lap = laplacian(
+            self._affinity_with_isolated(), normalization="random_walk"
+        )
+        assert lap[0, 0] == 0.0
+        np.testing.assert_allclose(lap[0, :], 0.0)
+
+    def test_isolated_vertex_is_nullvector(self):
+        lap = laplacian(self._affinity_with_isolated())
+        e0 = np.zeros(8)
+        e0[0] = 1.0
+        np.testing.assert_allclose(lap @ e0, 0.0, atol=1e-12)
+
+    def test_nullity_counts_isolated_as_component(self):
+        # One connected blob of 7 vertices + 1 isolated vertex = 2
+        # components, so the symmetric Laplacian nullity must be 2.
+        lap = laplacian(self._affinity_with_isolated())
+        values = np.linalg.eigvalsh(lap)
+        assert np.sum(values < 1e-10) == 2
+        assert is_psd(lap)
+
+    def test_random_walk_nullity_matches_components(self):
+        w = np.zeros((6, 6))
+        w[1, 2] = w[2, 1] = 1.0
+        w[3, 4] = w[4, 3] = 1.0  # vertices 0 and 5 isolated
+        lap = laplacian(w, normalization="random_walk")
+        values = np.linalg.eigvalsh((lap + lap.T) / 2.0)
+        assert np.sum(np.abs(values) < 1e-10) == 4  # 2 edges + 2 isolated
+
+
 class TestNormalizedAdjacencyLaplacianConsistency:
     def test_identity_minus_adjacency(self):
         w = _random_affinity(seed=8)
