@@ -29,12 +29,16 @@ from repro.datasets.container import MultiViewDataset
 from repro.datasets.synth import make_multiview_blobs
 from repro.evaluation.runner import run_experiment
 from repro.exceptions import (
+    ArtifactError,
+    ClampWarning,
     ConvergenceWarning,
     DatasetError,
     MonotonicityWarning,
     NumericalError,
     RecoveryExhaustedError,
     ReproError,
+    ServiceClosedError,
+    ServiceOverloadedError,
     ValidationError,
 )
 from repro.metrics.report import evaluate_clustering
@@ -64,6 +68,7 @@ from repro.robust import (
     registered_fault_sites,
     use_policy,
 )
+from repro.serving import ModelArtifact, PredictionService, Predictor
 
 __version__ = "1.0.0"
 
@@ -86,8 +91,15 @@ __all__ = [
     "NumericalError",
     "RecoveryExhaustedError",
     "DatasetError",
+    "ArtifactError",
+    "ServiceOverloadedError",
+    "ServiceClosedError",
     "ConvergenceWarning",
     "MonotonicityWarning",
+    "ClampWarning",
+    "ModelArtifact",
+    "Predictor",
+    "PredictionService",
     "FitCallback",
     "FitDiagnostics",
     "IterationEvent",

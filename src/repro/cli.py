@@ -10,7 +10,15 @@ Six subcommands mirror the evaluation artifacts:
 * ``cache``       — inspect (``stats``) or empty (``clear``) an on-disk
   computation cache;
 * ``faults``      — list the registered fault-injection sites of the
-  robustness harness (``repro faults list``).
+  robustness harness (``repro faults list``);
+* ``save``        — fit a model on a benchmark and persist a serving
+  artifact directory (:mod:`repro.serving`);
+* ``predict``     — load a saved artifact and batch-label a benchmark's
+  samples, reporting agreement with its ground truth;
+* ``serve``       — offline micro-batching benchmark: replay a
+  benchmark's samples as single-sample requests through a
+  :class:`~repro.serving.service.PredictionService` and compare
+  throughput against one-at-a-time prediction.
 
 ``run`` exposes the observability layer: ``--verbose`` streams one line
 per solver iteration to stderr, ``--trace PATH`` writes the spans and
@@ -35,6 +43,8 @@ import argparse
 import sys
 from contextlib import ExitStack
 
+import numpy as np
+
 from repro.datasets import available_benchmarks, get_spec, load_benchmark
 from repro.evaluation.curves import convergence_curve, sparkline
 from repro.evaluation.registry import default_method_registry
@@ -49,6 +59,7 @@ from repro.pipeline import (
     use_jobs,
 )
 from repro.robust import FailurePolicy, registered_fault_sites, use_policy
+from repro.serving import PredictionService, Predictor
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -137,6 +148,59 @@ def build_parser() -> argparse.ArgumentParser:
     faults_sub.add_parser(
         "list", help="list every registered fault-injection site"
     )
+
+    save_p = sub.add_parser(
+        "save", help="fit a model on a benchmark and save a serving artifact"
+    )
+    save_p.add_argument("--dataset", required=True, choices=available_benchmarks())
+    save_p.add_argument(
+        "--model",
+        default="UnifiedMVSC",
+        choices=["UnifiedMVSC", "AnchorMVSC", "SparseMVSC"],
+    )
+    save_p.add_argument("--seed", type=int, default=0)
+    save_p.add_argument(
+        "--out", required=True, metavar="DIR", help="artifact directory to write"
+    )
+    _add_pipeline_args(save_p)
+
+    predict_p = sub.add_parser(
+        "predict", help="batch-label a benchmark with a saved artifact"
+    )
+    predict_p.add_argument(
+        "--artifact", required=True, metavar="DIR", help="saved artifact directory"
+    )
+    predict_p.add_argument(
+        "--dataset", required=True, choices=available_benchmarks()
+    )
+    predict_p.add_argument("--batch-size", type=int, default=4096)
+    predict_p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker threads for per-view score computation",
+    )
+
+    serve_p = sub.add_parser(
+        "serve", help="offline micro-batching throughput benchmark"
+    )
+    serve_p.add_argument(
+        "--artifact", required=True, metavar="DIR", help="saved artifact directory"
+    )
+    serve_p.add_argument(
+        "--dataset", required=True, choices=available_benchmarks()
+    )
+    serve_p.add_argument(
+        "--bench",
+        action="store_true",
+        help="replay single-sample requests and report throughput "
+        "(the only mode; the flag records intent)",
+    )
+    serve_p.add_argument("--requests", type=int, default=128)
+    serve_p.add_argument("--clients", type=int, default=4)
+    serve_p.add_argument("--max-batch", type=int, default=32)
+    serve_p.add_argument("--max-latency-ms", type=float, default=5.0)
     return parser
 
 
@@ -307,6 +371,124 @@ def _cmd_faults(args, out) -> int:
     raise AssertionError(f"unhandled faults command {args.faults_command!r}")
 
 
+def _cmd_save(args, out) -> int:
+    from repro.core import AnchorMVSC, SparseMVSC, UnifiedMVSC
+
+    classes = {
+        "UnifiedMVSC": UnifiedMVSC,
+        "AnchorMVSC": AnchorMVSC,
+        "SparseMVSC": SparseMVSC,
+    }
+    dataset = load_benchmark(args.dataset)
+    model = classes[args.model](dataset.n_clusters, random_state=args.seed)
+    with ExitStack() as stack:
+        cache = _pipeline_context(args, stack)
+        model.fit_predict(dataset.views)
+        path = model.save(args.out)
+    artifact = model.to_artifact()
+    print(dataset.summary(), file=out)
+    print(
+        f"saved {args.model} artifact -> {path}\n"
+        f"  n_samples:  {artifact.n_samples}\n"
+        f"  view_dims:  {'/'.join(str(d) for d in artifact.view_dims)}\n"
+        f"  n_clusters: {artifact.n_clusters}\n"
+        f"  hash:       {artifact.content_hash()}",
+        file=out,
+    )
+    _print_cache_summary(cache, out)
+    return 0
+
+
+def _cmd_predict(args, out) -> int:
+    from repro.metrics.report import evaluate_clustering
+
+    predictor = Predictor.load(
+        args.artifact, batch_size=args.batch_size, n_jobs=args.jobs
+    )
+    dataset = load_benchmark(args.dataset)
+    labels = predictor.predict(dataset.views)
+    counts = np.bincount(labels, minlength=predictor.artifact.n_clusters)
+    print(f"{predictor!r}", file=out)
+    print(f"predicted {labels.shape[0]} samples from {args.dataset}", file=out)
+    print(
+        "  cluster sizes: "
+        + " ".join(f"{j}:{int(n)}" for j, n in enumerate(counts)),
+        file=out,
+    )
+    scores = evaluate_clustering(
+        dataset.labels, labels, metrics=("acc", "nmi", "purity")
+    )
+    for metric, value in scores.items():
+        print(f"  {metric:>7}: {value:.3f}", file=out)
+    return 0
+
+
+def _cmd_serve(args, out) -> int:
+    import threading
+    import time
+
+    predictor = Predictor.load(args.artifact)
+    dataset = load_benchmark(args.dataset)
+    n = dataset.n_samples
+    n_requests = max(1, args.requests)
+    samples = [
+        [v[i % n] for v in dataset.views] for i in range(n_requests)
+    ]
+
+    tick = time.perf_counter()
+    serial = [
+        int(predictor.predict([row[None, :] for row in s])[0]) for s in samples
+    ]
+    serial_seconds = time.perf_counter() - tick
+
+    results: list = [None] * n_requests
+    with PredictionService(
+        predictor,
+        max_batch=args.max_batch,
+        max_latency_ms=args.max_latency_ms,
+        max_queue=max(1024, n_requests),
+    ) as service:
+        tick = time.perf_counter()
+
+        def client(worker: int) -> None:
+            for i in range(worker, n_requests, args.clients):
+                results[i] = service.predict_one(samples[i])
+
+        threads = [
+            threading.Thread(target=client, args=(worker,))
+            for worker in range(max(1, args.clients))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        batched_seconds = time.perf_counter() - tick
+        stats = service.stats()
+
+    mismatches = sum(1 for a, b in zip(results, serial) if a != b)
+    print(f"{predictor!r}", file=out)
+    print(
+        f"served {n_requests} single-sample requests "
+        f"({args.clients} clients, max_batch={args.max_batch}, "
+        f"max_latency_ms={args.max_latency_ms:g})",
+        file=out,
+    )
+    print(
+        f"  one-at-a-time: {serial_seconds:.3f}s "
+        f"({n_requests / serial_seconds:.0f} req/s)",
+        file=out,
+    )
+    print(
+        f"  micro-batched: {batched_seconds:.3f}s "
+        f"({n_requests / batched_seconds:.0f} req/s), "
+        f"{stats.batches} batches, mean batch "
+        f"{stats.mean_batch_size:.1f}, max {stats.max_batch_size}",
+        file=out,
+    )
+    print(f"  label mismatches vs serial: {mismatches}", file=out)
+    return 0 if mismatches == 0 else 1
+
+
 def _cmd_convergence(args, out) -> int:
     dataset = load_benchmark(args.dataset)
     curve = convergence_curve(
@@ -370,4 +552,10 @@ def main(argv=None, out=None) -> int:
         return _cmd_cache(args, out)
     if args.command == "faults":
         return _cmd_faults(args, out)
+    if args.command == "save":
+        return _cmd_save(args, out)
+    if args.command == "predict":
+        return _cmd_predict(args, out)
+    if args.command == "serve":
+        return _cmd_serve(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

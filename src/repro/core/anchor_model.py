@@ -29,6 +29,10 @@ from repro.core.discrete import (
     rotation_initialize,
     scaled_indicator,
 )
+from repro.core.persistence import (
+    DEFAULT_SERVING_NEIGHBORS,
+    ServableModelMixin,
+)
 from repro.core.weights import update_view_weights, weight_exponents
 from repro.exceptions import ValidationError
 from repro.graph.anchor import (
@@ -61,7 +65,7 @@ def _top_left_singular(b: np.ndarray, c: int) -> np.ndarray:
     return (b @ vectors[:, order]) / np.sqrt(vals)[None, :]
 
 
-class AnchorMVSC:
+class AnchorMVSC(ServableModelMixin):
     """Anchor-graph (linear-time) multi-view spectral clustering.
 
     Parameters
@@ -143,6 +147,17 @@ class AnchorMVSC:
             f"gamma={self.gamma}, weighting={self.weighting!r}, "
             f"max_iter={self.max_iter}, n_restarts={self.n_restarts})"
         )
+
+    def _serving_config(self) -> dict:
+        return {
+            "n_clusters": self.n_clusters,
+            "n_anchors": self.n_anchors,
+            "n_anchor_neighbors": self.n_anchor_neighbors,
+            "gamma": self.gamma,
+            "weighting": self.weighting,
+            "max_iter": self.max_iter,
+            "n_restarts": self.n_restarts,
+        }
 
     def fit_predict(self, views) -> np.ndarray:
         """Cluster raw multi-view features at anchor-graph cost.
@@ -262,4 +277,5 @@ class AnchorMVSC:
             {"solver": type(self).__name__, "n_iter": n_iter},
         )
         assert labels is not None
+        self._remember_fit(views, labels, w, c, DEFAULT_SERVING_NEIGHBORS)
         return labels

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import time
 import warnings
+from dataclasses import asdict
 
 import numpy as np
 
@@ -50,6 +51,7 @@ from repro.core.discrete import (
 )
 from repro.core.graph_builder import build_laplacians, build_multiview_affinities
 from repro.core.objective import spectral_costs, umsc_objective
+from repro.core.persistence import ServableModelMixin
 from repro.core.result import UMSCResult
 from repro.core.weights import update_view_weights, weight_exponents
 from repro.exceptions import (
@@ -88,7 +90,7 @@ _SITE_GPI_SOLVE = register_fault_site(
 )
 
 
-class UnifiedMVSC:
+class UnifiedMVSC(ServableModelMixin):
     """Unified (one-stage) multi-view spectral clustering.
 
     Parameters
@@ -194,6 +196,9 @@ class UnifiedMVSC:
             f"n_restarts={self.n_restarts})"
         )
 
+    def _serving_config(self) -> dict:
+        return {**asdict(self.config), "n_restarts": self.n_restarts}
+
     def fit(self, views) -> UMSCResult:
         """Cluster raw multi-view features.
 
@@ -214,7 +219,15 @@ class UnifiedMVSC:
                     n_neighbors=cfg.n_neighbors,
                     n_jobs=cfg.n_jobs,
                 )
-            return self.fit_affinities(affinities)
+            result = self.fit_affinities(affinities)
+        self._remember_fit(
+            views,
+            result.labels,
+            result.view_weights,
+            cfg.n_clusters,
+            cfg.n_neighbors,
+        )
+        return result
 
     def fit_predict(self, views) -> np.ndarray:
         """Convenience: :meth:`fit` and return only the labels."""

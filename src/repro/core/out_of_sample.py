@@ -10,6 +10,14 @@ across views with the view weights the model learned:
 with the same self-tuning-style kernel used at fit time.  This turns a
 fitted :class:`~repro.core.model.UnifiedMVSC` result into an inductive
 classifier over its discovered clusters.
+
+The vote itself lives in :mod:`repro.serving.predictor`
+(:func:`~repro.serving.predictor.kernel_vote_scores` — the library's
+single implementation, vectorized as a scatter-add); this module is the
+thin transductive entry point that wraps the inputs in an in-memory
+:class:`~repro.serving.artifact.ModelArtifact` and delegates to
+:class:`~repro.serving.predictor.Predictor`, so the transductive and
+serving paths can never drift apart.
 """
 
 from __future__ import annotations
@@ -17,32 +25,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ValidationError
-from repro.graph.distance import pairwise_sq_euclidean
+from repro.serving.artifact import ModelArtifact
+from repro.serving.predictor import Predictor
 from repro.utils.validation import check_labels, check_views
-
-
-def _view_scores(
-    train: np.ndarray,
-    new: np.ndarray,
-    labels: np.ndarray,
-    n_clusters: int,
-    k: int,
-) -> np.ndarray:
-    """Per-cluster kernel-vote scores of new samples against one view."""
-    d2 = pairwise_sq_euclidean(new, train)
-    n_new, n_train = d2.shape
-    k = max(1, min(k, n_train))
-    idx = np.argpartition(d2, k - 1, axis=1)[:, :k]
-    rows = np.arange(n_new)[:, None]
-    local = d2[rows, idx]
-    # Self-tuning bandwidth: each new sample's k-th neighbor distance.
-    sigma2 = np.maximum(local.max(axis=1, keepdims=True), 1e-12)
-    kernel = np.exp(-local / sigma2)
-    scores = np.zeros((n_new, n_clusters))
-    neighbor_labels = labels[idx]
-    for j in range(n_clusters):
-        scores[:, j] = np.sum(kernel * (neighbor_labels == j), axis=1)
-    return scores
 
 
 def propagate_labels(
@@ -71,12 +56,15 @@ def propagate_labels(
         Per-view vote weights (e.g. ``UMSCResult.view_weights``); default
         uniform.
     n_neighbors : int
-        Training neighbors consulted per view.
+        Training neighbors consulted per view.  When it exceeds the
+        training-set size, the vote uses every training sample and a
+        :class:`~repro.exceptions.ClampWarning` reports the substitution.
 
     Returns
     -------
     ndarray of int64, shape (m,)
-        Cluster assignment of each new sample.
+        Cluster assignment of each new sample, identical to
+        ``Predictor.predict`` over an artifact of the same inputs.
 
     Examples
     --------
@@ -116,12 +104,17 @@ def propagate_labels(
             )
         if np.any(weights < 0) or not np.all(np.isfinite(weights)):
             raise ValidationError("view_weights must be finite and non-negative")
-        total = weights.sum()
-        if total <= 0:
+        if weights.sum() <= 0:
             raise ValidationError("view_weights must not all be zero")
-        weights = weights / total
 
-    total_scores = np.zeros((new_views[0].shape[0], c))
-    for w_v, train, new in zip(weights, train_views, new_views):
-        total_scores += w_v * _view_scores(train, new, labels, c, n_neighbors)
-    return np.argmax(total_scores, axis=1).astype(np.int64)
+    # The Predictor normalizes the weights (once, like the historical
+    # in-place implementation), so the raw values go into the artifact.
+    artifact = ModelArtifact(
+        model_class="propagate_labels",
+        train_views=train_views,
+        train_labels=labels,
+        view_weights=weights,
+        n_clusters=c,
+        n_neighbors=n_neighbors,
+    )
+    return Predictor(artifact).predict(new_views)

@@ -23,6 +23,7 @@ from repro.core.discrete import (
     rotation_initialize,
     scaled_indicator,
 )
+from repro.core.persistence import ServableModelMixin
 from repro.core.weights import update_view_weights, weight_exponents
 from repro.exceptions import ValidationError
 from repro.graph.sparse import sparse_knn_affinity, sparse_laplacian
@@ -43,7 +44,7 @@ _SITE_FIT = register_fault_site(
 )
 
 
-class SparseMVSC:
+class SparseMVSC(ServableModelMixin):
     """Sparse-graph multi-view spectral clustering (exact neighborhoods).
 
     Parameters
@@ -111,6 +112,17 @@ class SparseMVSC:
             f"weighting={self.weighting!r}, max_iter={self.max_iter}, "
             f"n_restarts={self.n_restarts}, block={self.block})"
         )
+
+    def _serving_config(self) -> dict:
+        return {
+            "n_clusters": self.n_clusters,
+            "n_neighbors": self.n_neighbors,
+            "gamma": self.gamma,
+            "weighting": self.weighting,
+            "max_iter": self.max_iter,
+            "n_restarts": self.n_restarts,
+            "block": self.block,
+        }
 
     def fit_predict(self, views) -> np.ndarray:
         """Cluster raw multi-view features with sparse graphs throughout.
@@ -227,4 +239,5 @@ class SparseMVSC:
             {"solver": type(self).__name__, "n_iter": n_iter},
         )
         assert labels is not None
+        self._remember_fit(views, labels, w, c, self.n_neighbors)
         return labels

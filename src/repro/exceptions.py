@@ -55,8 +55,44 @@ class RecoveryExhaustedError(NumericalError):
         self.context = context
 
 
+class ArtifactError(ValidationError):
+    """Raised when a serving artifact is missing, corrupt, or incompatible.
+
+    Covers every failure of :mod:`repro.serving.artifact`'s load path —
+    unreadable manifest, schema-version mismatch, missing or misshapen
+    arrays, content-hash mismatch — so callers never see a bare
+    ``json``/``numpy`` exception for a bad artifact directory.
+    """
+
+
+class ServiceOverloadedError(ReproError):
+    """Raised when the prediction service's bounded queue is full.
+
+    Backpressure surface of :class:`repro.serving.service.
+    PredictionService`: ``submit`` fails fast instead of buffering
+    unboundedly; clients are expected to retry with their own policy.
+    """
+
+
+class ServiceClosedError(ReproError):
+    """Raised when a request is submitted to a shut-down prediction service."""
+
+
 class ConvergenceWarning(UserWarning):
     """Warning emitted when an iterative solver stops before converging."""
+
+
+class ClampWarning(UserWarning):
+    """Warning emitted when a configured neighborhood is silently shrunk.
+
+    The out-of-sample kernel vote consults ``n_neighbors`` training
+    samples per view; when the training set is smaller than that, the
+    neighborhood is clamped to the whole training set and this warning
+    surfaces the substitution once per call (the explicit-clamp policy:
+    a parameter that cannot be realized must not silently run a
+    different computation — see ``adaptive_neighbor_affinity``, which
+    raises instead because sweeps must stay honest).
+    """
 
 
 class MonotonicityWarning(ConvergenceWarning):

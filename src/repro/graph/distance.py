@@ -13,7 +13,12 @@ import numpy as np
 from repro.utils.validation import check_matrix
 
 
-def pairwise_sq_euclidean(x: np.ndarray, y: np.ndarray | None = None) -> np.ndarray:
+def pairwise_sq_euclidean(
+    x: np.ndarray,
+    y: np.ndarray | None = None,
+    *,
+    y_sq_norms: np.ndarray | None = None,
+) -> np.ndarray:
     """Squared Euclidean distance matrix between rows of ``x`` and ``y``.
 
     Parameters
@@ -21,6 +26,11 @@ def pairwise_sq_euclidean(x: np.ndarray, y: np.ndarray | None = None) -> np.ndar
     x : ndarray of shape (n, d)
     y : ndarray of shape (m, d), optional
         Defaults to ``x`` (self-distances; the diagonal is exactly zero).
+    y_sq_norms : ndarray of shape (m,), optional
+        Precomputed ``einsum("ij,ij->i", y, y)``, letting a serving-time
+        index amortize the reference-set norms across queries (see
+        :mod:`repro.serving.predictor`).  Results are bit-identical to
+        passing nothing.  Only valid together with ``y``.
 
     Returns
     -------
@@ -36,8 +46,24 @@ def pairwise_sq_euclidean(x: np.ndarray, y: np.ndarray | None = None) -> np.ndar
         raise ValidationError(
             f"x and y must share the feature dimension, got {x.shape[1]} and {y.shape[1]}"
         )
+    if y_sq_norms is not None:
+        from repro.exceptions import ValidationError
+
+        if symmetric:
+            raise ValidationError("y_sq_norms requires an explicit y")
+        y_sq_norms = np.asarray(y_sq_norms, dtype=np.float64)
+        if y_sq_norms.shape != (y.shape[0],):
+            raise ValidationError(
+                f"y_sq_norms must have shape ({y.shape[0]},), "
+                f"got {y_sq_norms.shape}"
+            )
     xx = np.einsum("ij,ij->i", x, x)
-    yy = xx if symmetric else np.einsum("ij,ij->i", y, y)
+    if symmetric:
+        yy = xx
+    elif y_sq_norms is not None:
+        yy = y_sq_norms
+    else:
+        yy = np.einsum("ij,ij->i", y, y)
     d = xx[:, None] + yy[None, :] - 2.0 * (x @ y.T)
     np.maximum(d, 0.0, out=d)
     if symmetric:

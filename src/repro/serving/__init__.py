@@ -1,0 +1,32 @@
+"""Model serving: fitted-model artifacts, batch inference, micro-batching.
+
+The serving layer turns a fitted multi-view clustering into a deployable
+unit:
+
+* :class:`~repro.serving.artifact.ModelArtifact` — versioned on-disk
+  snapshot (npz arrays + JSON manifest) with schema validation and a
+  content hash; ``save``/``load`` round-trips are bit-identical.
+* :class:`~repro.serving.predictor.Predictor` — inductive batch
+  inference over an artifact via the multi-view kernel vote
+  (:func:`~repro.serving.predictor.kernel_vote_scores`, the single
+  implementation shared with
+  :func:`repro.core.out_of_sample.propagate_labels`).
+* :class:`~repro.serving.service.PredictionService` — thread-based
+  micro-batching request queue with backpressure and graceful shutdown.
+
+This package never imports :mod:`repro.core`; the dependency points the
+other way (models gain ``save``/``load`` by building artifacts here).
+"""
+
+from repro.serving.artifact import ModelArtifact, library_versions
+from repro.serving.predictor import Predictor, kernel_vote_scores
+from repro.serving.service import PredictionService, ServiceStats
+
+__all__ = [
+    "ModelArtifact",
+    "Predictor",
+    "PredictionService",
+    "ServiceStats",
+    "kernel_vote_scores",
+    "library_versions",
+]

@@ -1,0 +1,346 @@
+"""Thread-based micro-batching prediction service.
+
+Per-request inference wastes the predictor's vectorization: a single
+query pays the same Python/GEMM dispatch overhead as a whole batch.
+:class:`PredictionService` recovers batch efficiency under a
+request/response API by *micro-batching*: clients ``submit`` one sample
+at a time and get a :class:`~concurrent.futures.Future` back; a worker
+thread takes the oldest queued request, coalesces everything that
+arrives within ``max_latency_ms`` (up to ``max_batch`` requests), runs
+ONE batched :meth:`~repro.serving.predictor.Predictor.predict`, and fans
+the labels back out to the per-request futures.
+
+Operational properties:
+
+* **Backpressure** — the request queue is bounded; ``submit`` on a full
+  queue raises :class:`~repro.exceptions.ServiceOverloadedError`
+  immediately instead of buffering unboundedly.
+* **Graceful shutdown** — :meth:`close` stops accepting, drains every
+  queued request through the normal batch path, then joins the worker;
+  submitting afterwards raises
+  :class:`~repro.exceptions.ServiceClosedError`.
+* **Observability** — ``serving.queue_depth`` (at submit),
+  ``serving.batch_size``, and ``serving.batch_seconds`` histograms plus
+  ``serving.submitted`` / ``serving.completed`` / ``serving.rejected``
+  counters flow to the trace active when the service was *constructed*
+  (the worker runs in a snapshot of the construction-time context, so
+  traces, caches, failure policies, and armed fault plans all apply to
+  the batched predicts).
+* **Determinism** — batch composition depends on arrival timing, but
+  the predictor's per-query independence makes every result identical
+  to a serial ``predict`` of that sample, whatever batch it rode in.
+
+Examples
+--------
+>>> import numpy as np
+>>> from repro.serving import ModelArtifact, Predictor, PredictionService
+>>> art = ModelArtifact(
+...     model_class="UnifiedMVSC",
+...     train_views=[np.vstack([np.zeros((5, 2)), np.ones((5, 2)) * 9])],
+...     train_labels=np.repeat([0, 1], 5),
+...     view_weights=np.array([1.0]),
+...     n_clusters=2,
+... )
+>>> with PredictionService(Predictor(art)) as service:
+...     future = service.submit([np.array([8.8, 9.1])])
+...     future.result(timeout=5.0)
+1
+"""
+
+from __future__ import annotations
+
+import contextvars
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import (
+    ServiceClosedError,
+    ServiceOverloadedError,
+    ValidationError,
+)
+from repro.observability.trace import metric_inc, metric_observe, span
+from repro.serving.predictor import Predictor
+
+#: Sentinel enqueued by :meth:`PredictionService.close` to wake the worker.
+_STOP = object()
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Point-in-time request/batch counters of one service.
+
+    Attributes
+    ----------
+    submitted : int
+        Requests accepted by :meth:`~PredictionService.submit`.
+    completed : int
+        Requests whose future was resolved (result or exception).
+    rejected : int
+        Requests refused with :class:`~repro.exceptions.
+        ServiceOverloadedError`.
+    batches : int
+        Batched predict calls issued.
+    max_batch_size : int
+        Largest coalesced batch so far.
+    """
+
+    submitted: int
+    completed: int
+    rejected: int
+    batches: int
+    max_batch_size: int
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average requests per batch (``nan`` before the first batch)."""
+        return self.completed / self.batches if self.batches else float("nan")
+
+
+class _Request:
+    """One enqueued sample: its per-view rows and the result future."""
+
+    __slots__ = ("rows", "future")
+
+    def __init__(self, rows: list) -> None:
+        self.rows = rows
+        self.future: Future = Future()
+
+
+class PredictionService:
+    """Micro-batching request queue over a :class:`Predictor`.
+
+    Parameters
+    ----------
+    predictor : Predictor
+        The batched inductive classifier answering requests.
+    max_batch : int
+        Most requests coalesced into one predict call.
+    max_latency_ms : float
+        Longest the worker holds a batch open for stragglers once the
+        queue is empty; bounds the queueing latency a request can pay to
+        help its batch fill.  Requests already queued always join the
+        current batch immediately, so ``0`` still micro-batches
+        back-to-back traffic — it just never *waits* for more.
+    max_queue : int
+        Bound on queued (not yet batched) requests; the backpressure
+        knob.
+    """
+
+    def __init__(
+        self,
+        predictor: Predictor,
+        *,
+        max_batch: int = 32,
+        max_latency_ms: float = 5.0,
+        max_queue: int = 1024,
+    ) -> None:
+        if not isinstance(predictor, Predictor):
+            raise ValidationError(
+                f"predictor must be a Predictor, got "
+                f"{type(predictor).__name__}"
+            )
+        if int(max_batch) < 1:
+            raise ValidationError(f"max_batch must be >= 1, got {max_batch}")
+        if float(max_latency_ms) < 0:
+            raise ValidationError(
+                f"max_latency_ms must be >= 0, got {max_latency_ms}"
+            )
+        if int(max_queue) < 1:
+            raise ValidationError(f"max_queue must be >= 1, got {max_queue}")
+        self.predictor = predictor
+        self.max_batch = int(max_batch)
+        self.max_latency = float(max_latency_ms) / 1000.0
+        self.max_queue = int(max_queue)
+        self._queue: queue.Queue = queue.Queue(maxsize=self.max_queue)
+        self._lock = threading.Lock()
+        self._closed = False
+        self._submitted = 0
+        self._completed = 0
+        self._rejected = 0
+        self._batches = 0
+        self._max_batch_seen = 0
+        context = contextvars.copy_context()
+        self._worker = threading.Thread(
+            target=lambda: context.run(self._serve_loop),
+            name="repro-prediction-service",
+            daemon=True,
+        )
+        self._worker.start()
+
+    # -- client side -------------------------------------------------------
+
+    def submit(self, sample_views) -> Future:
+        """Enqueue one sample; returns the future of its label.
+
+        Parameters
+        ----------
+        sample_views : sequence of ndarray
+            One array per view, shape ``(d_v,)`` or ``(1, d_v)``, in the
+            model's view order.
+
+        Returns
+        -------
+        concurrent.futures.Future
+            Resolves to the sample's cluster label (int), or to the
+            exception its batch raised.
+
+        Raises
+        ------
+        ServiceClosedError
+            The service has been closed.
+        ServiceOverloadedError
+            The bounded queue is full (backpressure; retry later).
+        """
+        rows = self._check_sample(sample_views)
+        request = _Request(rows)
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError(
+                    "prediction service is closed; no new requests accepted"
+                )
+            try:
+                self._queue.put_nowait(request)
+            except queue.Full:
+                self._rejected += 1
+                metric_inc("serving.rejected")
+                raise ServiceOverloadedError(
+                    f"prediction queue is full ({self.max_queue} requests "
+                    f"pending); retry later or raise max_queue"
+                ) from None
+            self._submitted += 1
+        metric_inc("serving.submitted")
+        metric_observe("serving.queue_depth", self._queue.qsize())
+        return request.future
+
+    def predict_one(self, sample_views, *, timeout: float | None = 30.0):
+        """Blocking convenience: :meth:`submit` and wait for the label."""
+        return self.submit(sample_views).result(timeout=timeout)
+
+    def stats(self) -> ServiceStats:
+        """Current :class:`ServiceStats` snapshot."""
+        with self._lock:
+            return ServiceStats(
+                submitted=self._submitted,
+                completed=self._completed,
+                rejected=self._rejected,
+                batches=self._batches,
+                max_batch_size=self._max_batch_seen,
+            )
+
+    def close(self, *, timeout: float | None = None) -> None:
+        """Stop accepting requests, drain the queue, join the worker.
+
+        Every request accepted before the close completes normally (its
+        future resolves through the usual batch path).  Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                already = True
+            else:
+                self._closed = True
+                already = False
+        if not already:
+            # The sentinel lands behind every accepted request, so the
+            # worker drains them all before it sees the stop signal.
+            self._queue.put(_STOP)
+        self._worker.join(timeout=timeout)
+
+    def __enter__(self) -> "PredictionService":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # -- worker side -------------------------------------------------------
+
+    def _check_sample(self, sample_views) -> list:
+        """Validate one sample's per-view rows; returns ``(1, d_v)`` rows."""
+        dims = self.predictor.artifact.view_dims
+        try:
+            seq = list(sample_views)
+        except TypeError as exc:
+            raise ValidationError(
+                "sample_views must be a sequence with one array per view"
+            ) from exc
+        if len(seq) != len(dims):
+            raise ValidationError(
+                f"model has {len(dims)} views but the sample has "
+                f"{len(seq)} views"
+            )
+        rows = []
+        for v, (x, d) in enumerate(zip(seq, dims)):
+            arr = np.asarray(x, dtype=np.float64)
+            if arr.ndim == 1:
+                arr = arr[None, :]
+            if arr.ndim != 2 or arr.shape != (1, d):
+                raise ValidationError(
+                    f"sample view {v} must have shape ({d},) or (1, {d}), "
+                    f"got {np.asarray(x).shape}"
+                )
+            if not np.all(np.isfinite(arr)):
+                raise ValidationError(
+                    f"sample view {v} contains NaN or Inf entries"
+                )
+            rows.append(arr)
+        return rows
+
+    def _serve_loop(self) -> None:
+        """Take a request, coalesce co-travelers, predict, fan out."""
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            batch = [item]
+            deadline = time.perf_counter() + self.max_latency
+            stop_after = False
+            while len(batch) < self.max_batch:
+                # Greedy first: whatever is already queued joins the
+                # batch for free.  Only once the queue is drained does
+                # the deadline decide whether to hold the batch open for
+                # stragglers (max_latency_ms = 0 -> never).
+                try:
+                    nxt = self._queue.get_nowait()
+                except queue.Empty:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        break
+                    try:
+                        nxt = self._queue.get(timeout=remaining)
+                    except queue.Empty:
+                        break
+                if nxt is _STOP:
+                    stop_after = True
+                    break
+                batch.append(nxt)
+            self._run_batch(batch)
+            if stop_after:
+                return
+
+    def _run_batch(self, batch: list) -> None:
+        """One batched predict; resolve every request's future."""
+        tick = time.perf_counter()
+        with span("serving.batch", batch_size=len(batch)):
+            try:
+                views = [
+                    np.concatenate([r.rows[v] for r in batch])
+                    for v in range(self.predictor.artifact.n_views)
+                ]
+                labels = self.predictor.predict(views)
+            except BaseException as exc:
+                for request in batch:
+                    request.future.set_exception(exc)
+            else:
+                for i, request in enumerate(batch):
+                    request.future.set_result(int(labels[i]))
+        with self._lock:
+            self._completed += len(batch)
+            self._batches += 1
+            self._max_batch_seen = max(self._max_batch_seen, len(batch))
+        metric_observe("serving.batch_size", len(batch))
+        metric_observe("serving.batch_seconds", time.perf_counter() - tick)

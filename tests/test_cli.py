@@ -5,6 +5,7 @@ import io
 import pytest
 
 from repro.cli import build_parser, main
+from repro.exceptions import ArtifactError
 
 
 class TestParser:
@@ -79,3 +80,85 @@ class TestStabilityCommand:
         assert code == 0
         text = out.getvalue()
         assert "one-stage" in text and "two-stage" in text
+
+
+class TestServingCommands:
+    def test_save_predict_round_trip(self, tmp_path):
+        art_dir = str(tmp_path / "artifact")
+        out = io.StringIO()
+        code = main(
+            [
+                "save",
+                "--dataset",
+                "yale",
+                "--model",
+                "UnifiedMVSC",
+                "--seed",
+                "0",
+                "--out",
+                art_dir,
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "saved UnifiedMVSC artifact" in text
+        assert "hash:" in text
+
+        out = io.StringIO()
+        code = main(
+            ["predict", "--artifact", art_dir, "--dataset", "yale"], out=out
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "predicted 165 samples" in text
+        assert "acc" in text and "nmi" in text
+
+    def test_serve_bench_reports_throughput(self, tmp_path):
+        art_dir = str(tmp_path / "artifact")
+        assert (
+            main(
+                ["save", "--dataset", "yale", "--out", art_dir],
+                out=io.StringIO(),
+            )
+            == 0
+        )
+        out = io.StringIO()
+        code = main(
+            [
+                "serve",
+                "--artifact",
+                art_dir,
+                "--dataset",
+                "yale",
+                "--bench",
+                "--requests",
+                "32",
+                "--clients",
+                "2",
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "one-at-a-time" in text and "micro-batched" in text
+        assert "label mismatches vs serial: 0" in text
+
+    def test_predict_missing_artifact_is_typed_error(self, tmp_path):
+        with pytest.raises(ArtifactError, match="manifest"):
+            main(
+                [
+                    "predict",
+                    "--artifact",
+                    str(tmp_path / "nowhere"),
+                    "--dataset",
+                    "yale",
+                ],
+                out=io.StringIO(),
+            )
+
+    def test_save_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["save", "--dataset", "yale", "--model", "Magic", "--out", "x"]
+            )

@@ -146,6 +146,8 @@ class TestSiteCatalogue:
         "model.fit",
         "procrustes.svd",
         "runner.run",
+        "serving.load",
+        "serving.predict",
     }
 
     def test_all_library_sites_registered(self):

@@ -1,0 +1,559 @@
+"""Tests for repro.serving: artifacts, the predictor, and the service."""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import AnchorMVSC, SparseMVSC, UnifiedMVSC
+from repro.core.out_of_sample import propagate_labels
+from repro.exceptions import (
+    ArtifactError,
+    ClampWarning,
+    RecoveryExhaustedError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    ValidationError,
+)
+from repro.observability import Trace, use_trace
+from repro.robust import FaultSpec, inject_faults
+from repro.serving import (
+    ModelArtifact,
+    PredictionService,
+    Predictor,
+    kernel_vote_scores,
+)
+from repro.serving.artifact import ARRAYS_NAME, MANIFEST_NAME, SCHEMA_VERSION
+
+
+def _blob_artifact(n=40, n_views=2, c=3, seed=0, **kwargs):
+    """A small hand-built artifact over well-separated blobs."""
+    rng = np.random.default_rng(seed)
+    centers = np.arange(c)[:, None] * 8.0
+    views, labels = [], np.repeat(np.arange(c), n // c)
+    for v in range(n_views):
+        d = 3 + 2 * v
+        views.append(
+            centers[labels][:, :1] * np.ones(d) + rng.normal(0, 0.3, (labels.size, d))
+        )
+    kwargs.setdefault("view_weights", rng.uniform(0.5, 1.5, n_views))
+    return ModelArtifact(
+        model_class="UnifiedMVSC",
+        train_views=views,
+        train_labels=labels,
+        view_weights=kwargs.pop("view_weights"),
+        n_clusters=c,
+        **kwargs,
+    )
+
+
+def _queries(artifact, m=9, seed=1):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(8.0, 3.0, (m, d)) for d in artifact.view_dims]
+
+
+class TestArtifactRoundTrip:
+    def test_round_trip_is_bit_identical(self, tmp_path):
+        art = _blob_artifact()
+        path = art.save(tmp_path / "art")
+        same = ModelArtifact.load(path)
+        assert same.model_class == art.model_class
+        assert same.n_clusters == art.n_clusters
+        assert same.n_neighbors == art.n_neighbors
+        for a, b in zip(art.train_views, same.train_views):
+            np.testing.assert_array_equal(a, b)
+            assert a.dtype == b.dtype
+        np.testing.assert_array_equal(art.train_labels, same.train_labels)
+        np.testing.assert_array_equal(art.view_weights, same.view_weights)
+        assert art.content_hash() == same.content_hash()
+
+    def test_manifest_records_versions_and_config(self, tmp_path):
+        art = _blob_artifact(config={"lam": 1.0, "graph": "auto"})
+        art.save(tmp_path)
+        manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        assert manifest["schema_version"] == SCHEMA_VERSION
+        assert manifest["config"]["graph"] == "auto"
+        assert manifest["versions"]["numpy"] == np.__version__
+        assert manifest["versions"]["repro"] == repro.__version__
+        assert manifest["content_hash"] == art.content_hash()
+
+    def test_save_is_idempotent_overwrite(self, tmp_path):
+        art = _blob_artifact()
+        art.save(tmp_path)
+        art.save(tmp_path)
+        assert ModelArtifact.load(tmp_path).content_hash() == art.content_hash()
+
+    @pytest.mark.parametrize(
+        "model_cls", [UnifiedMVSC, AnchorMVSC, SparseMVSC]
+    )
+    def test_model_round_trip_matches_in_process(
+        self, tmp_path, small_dataset, model_cls
+    ):
+        model = model_cls(small_dataset.n_clusters, random_state=0)
+        fitted_labels = model.fit_predict(small_dataset.views)
+        directory = model.save(tmp_path / model_cls.__name__)
+        predictor = model_cls.load(directory)
+        in_process = Predictor(model.to_artifact())
+        np.testing.assert_array_equal(
+            predictor.predict(small_dataset.views),
+            in_process.predict(small_dataset.views),
+        )
+        # Self-prediction mostly agrees with the fitted clustering (the
+        # kernel vote is a different estimator, so exact equality is not
+        # the contract).
+        agreement = float(
+            (predictor.predict(small_dataset.views) == fitted_labels).mean()
+        )
+        assert agreement > 0.85
+
+    def test_load_matches_propagate_labels_bitwise(self, tmp_path, small_dataset):
+        model = UnifiedMVSC(small_dataset.n_clusters, random_state=0)
+        result = model.fit(small_dataset.views)
+        model.save(tmp_path)
+        predictor = Predictor.load(tmp_path)
+        queries = [v[::3] for v in small_dataset.views]
+        expected = propagate_labels(
+            small_dataset.views,
+            result.labels,
+            queries,
+            view_weights=result.view_weights,
+            n_neighbors=model.config.n_neighbors,
+        )
+        np.testing.assert_array_equal(predictor.predict(queries), expected)
+
+    def test_fresh_process_predict_is_bit_identical(self, tmp_path):
+        art = _blob_artifact()
+        art.save(tmp_path / "art")
+        queries = _queries(art)
+        np.savez(tmp_path / "queries.npz", *queries)
+        script = (
+            "import sys, numpy as np\n"
+            "from repro.serving import Predictor\n"
+            "with np.load(sys.argv[2]) as data:\n"
+            "    queries = [data[k] for k in data.files]\n"
+            "labels = Predictor.load(sys.argv[1]).predict(queries)\n"
+            "np.save(sys.argv[3], labels)\n"
+        )
+        src = os.path.join(os.path.dirname(repro.__file__), os.pardir)
+        env = dict(os.environ, PYTHONPATH=os.path.abspath(src))
+        subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                script,
+                str(tmp_path / "art"),
+                str(tmp_path / "queries.npz"),
+                str(tmp_path / "labels.npy"),
+            ],
+            check=True,
+            env=env,
+        )
+        fresh = np.load(tmp_path / "labels.npy")
+        np.testing.assert_array_equal(fresh, Predictor(art).predict(queries))
+
+    def test_unfitted_model_save_raises(self):
+        with pytest.raises(ValidationError, match="fit"):
+            UnifiedMVSC(3).save("/tmp/nowhere")
+
+    def test_fit_affinities_only_cannot_save(self, affinity_pair, small_dataset):
+        model = UnifiedMVSC(small_dataset.n_clusters, random_state=0)
+        model.fit_affinities(affinity_pair)
+        with pytest.raises(ValidationError, match="fit_affinities"):
+            model.to_artifact()
+
+    def test_wrong_class_load_rejected(self, tmp_path):
+        _blob_artifact().save(tmp_path)  # model_class == "UnifiedMVSC"
+        with pytest.raises(ValidationError, match="UnifiedMVSC"):
+            AnchorMVSC.load(tmp_path)
+
+
+class TestArtifactValidation:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(ArtifactError, match="manifest"):
+            ModelArtifact.load(tmp_path / "nope")
+
+    def test_corrupt_manifest_json(self, tmp_path):
+        _blob_artifact().save(tmp_path)
+        (tmp_path / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(ArtifactError, match="unreadable"):
+            ModelArtifact.load(tmp_path)
+
+    def test_manifest_missing_keys(self, tmp_path):
+        _blob_artifact().save(tmp_path)
+        manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        del manifest["n_clusters"], manifest["content_hash"]
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="missing keys"):
+            ModelArtifact.load(tmp_path)
+
+    def test_wrong_schema_version(self, tmp_path):
+        _blob_artifact().save(tmp_path)
+        manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        manifest["schema_version"] = SCHEMA_VERSION + 1
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="schema version"):
+            ModelArtifact.load(tmp_path)
+
+    def test_missing_arrays_file(self, tmp_path):
+        _blob_artifact().save(tmp_path)
+        (tmp_path / ARRAYS_NAME).unlink()
+        with pytest.raises(ArtifactError, match="arrays"):
+            ModelArtifact.load(tmp_path)
+
+    def test_truncated_arrays_file(self, tmp_path):
+        _blob_artifact().save(tmp_path)
+        payload = (tmp_path / ARRAYS_NAME).read_bytes()
+        (tmp_path / ARRAYS_NAME).write_bytes(payload[: len(payload) // 2])
+        with pytest.raises(ArtifactError, match="corrupt|missing"):
+            ModelArtifact.load(tmp_path)
+
+    def test_shape_mismatch_vs_manifest(self, tmp_path):
+        _blob_artifact().save(tmp_path)
+        manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        manifest["view_dims"][0] += 1
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="shape"):
+            ModelArtifact.load(tmp_path)
+
+    def test_tampered_arrays_fail_the_hash(self, tmp_path):
+        art = _blob_artifact()
+        art.save(tmp_path)
+        tampered = dict(
+            np.load(tmp_path / ARRAYS_NAME, allow_pickle=False).items()
+        )
+        tampered["view_0"] = tampered["view_0"] + 1.0
+        np.savez(tmp_path / ARRAYS_NAME, **tampered)
+        with pytest.raises(ArtifactError, match="hash"):
+            ModelArtifact.load(tmp_path)
+
+    def test_invalid_construction(self):
+        art = _blob_artifact()
+        with pytest.raises(ValidationError, match="view_weights"):
+            ModelArtifact(
+                model_class="X",
+                train_views=art.train_views,
+                train_labels=art.train_labels,
+                view_weights=np.zeros(art.n_views),
+                n_clusters=art.n_clusters,
+            )
+        with pytest.raises(ValidationError, match="n_clusters"):
+            ModelArtifact(
+                model_class="X",
+                train_views=art.train_views,
+                train_labels=art.train_labels,
+                view_weights=art.view_weights,
+                n_clusters=1,
+            )
+
+
+class TestPredictor:
+    def test_matches_propagate_labels_bitwise(self):
+        art = _blob_artifact(n_views=3)
+        queries = _queries(art, m=17)
+        expected = propagate_labels(
+            art.train_views,
+            art.train_labels,
+            queries,
+            n_clusters=art.n_clusters,
+            view_weights=art.view_weights,
+            n_neighbors=art.n_neighbors,
+        )
+        np.testing.assert_array_equal(Predictor(art).predict(queries), expected)
+
+    @pytest.mark.parametrize("batch_size", [1, 4, 7, 1000])
+    def test_chunking_preserves_labels(self, batch_size):
+        # Scores can move in the last float bits across chunk shapes
+        # (BLAS picks different kernels for different operand sizes);
+        # labels must not.
+        art = _blob_artifact()
+        queries = _queries(art, m=23)
+        reference = Predictor(art)
+        chunked = Predictor(art, batch_size=batch_size)
+        np.testing.assert_array_equal(
+            chunked.predict(queries), reference.predict(queries)
+        )
+        np.testing.assert_allclose(
+            chunked.predict_scores(queries),
+            reference.predict_scores(queries),
+            rtol=1e-12,
+        )
+
+    def test_parallel_views_are_bit_neutral(self):
+        # Per-view votes are accumulated in view order regardless of the
+        # thread pool, so n_jobs is bit-neutral (unlike batch_size).
+        art = _blob_artifact(n_views=3)
+        queries = _queries(art, m=23)
+        serial = Predictor(art, n_jobs=None).predict_scores(queries)
+        threaded = Predictor(art, n_jobs=2).predict_scores(queries)
+        np.testing.assert_array_equal(threaded, serial)
+
+    def test_scores_argmax_is_predict(self):
+        art = _blob_artifact()
+        queries = _queries(art)
+        predictor = Predictor(art)
+        scores = predictor.predict_scores(queries)
+        assert scores.shape == (queries[0].shape[0], art.n_clusters)
+        np.testing.assert_array_equal(
+            predictor.predict(queries), np.argmax(scores, axis=1)
+        )
+
+    def test_query_validation(self):
+        art = _blob_artifact(n_views=2)
+        predictor = Predictor(art)
+        with pytest.raises(ValidationError, match="views"):
+            predictor.predict([np.zeros((2, art.view_dims[0]))])
+        with pytest.raises(ValidationError, match="dim"):
+            predictor.predict(
+                [np.zeros((2, art.view_dims[0] + 1)), np.zeros((2, art.view_dims[1]))]
+            )
+        with pytest.raises(ValidationError, match="rows"):
+            predictor.predict(
+                [np.zeros((2, art.view_dims[0])), np.zeros((3, art.view_dims[1]))]
+            )
+        with pytest.raises(ValidationError, match="batch_size"):
+            predictor.predict(_queries(art), batch_size=0)
+
+    def test_clamp_warning_once(self):
+        art = _blob_artifact(n=12, n_neighbors=99)
+        with pytest.warns(ClampWarning, match="99"):
+            predictor = Predictor(art)
+        # The clamp is surfaced at construction, not per predict call.
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            predictor.predict(_queries(art))
+
+    def test_metrics_flow_to_active_trace(self):
+        art = _blob_artifact()
+        trace = Trace("serving-test")
+        with use_trace(trace):
+            Predictor(art).predict(_queries(art, m=9))
+        assert trace.metrics.counters["serving.requests"].value == 9
+        assert "serving.predict_seconds" in trace.metrics.histograms
+        assert any(s.name == "serving.predict" for s in trace.spans)
+        assert any(s.name == "serving.index_build" for s in trace.spans)
+
+
+class TestKernelVote:
+    def test_matches_naive_reference(self, rng):
+        d2 = rng.uniform(0.1, 9.0, size=(13, 37))
+        labels = rng.integers(0, 4, size=37)
+        k = 9
+        scores = kernel_vote_scores(d2, labels, 4, k)
+        idx = np.argpartition(d2, k - 1, axis=1)[:, :k]
+        expected = np.zeros((13, 4))
+        for i in range(13):
+            local = d2[i, idx[i]]
+            kernel = np.exp(-local / max(local.max(), 1e-12))
+            for neighbor, weight in zip(idx[i], kernel):
+                expected[i, labels[neighbor]] += weight
+        np.testing.assert_allclose(scores, expected, rtol=1e-12, atol=0.0)
+        np.testing.assert_array_equal(
+            np.argmax(scores, axis=1), np.argmax(expected, axis=1)
+        )
+
+    def test_k_clamped_to_train_size(self, rng):
+        d2 = rng.uniform(0.1, 4.0, size=(5, 6))
+        labels = rng.integers(0, 2, size=6)
+        np.testing.assert_array_equal(
+            kernel_vote_scores(d2, labels, 2, 50),
+            kernel_vote_scores(d2, labels, 2, 6),
+        )
+
+
+@pytest.mark.faults
+class TestServingFaults:
+    def test_load_recovers_from_one_shot_fault(self, tmp_path):
+        art = _blob_artifact()
+        art.save(tmp_path)
+        with inject_faults(FaultSpec("serving.load", mode="raise", times=1)):
+            loaded = ModelArtifact.load(tmp_path)
+        assert loaded.content_hash() == art.content_hash()
+
+    def test_load_persistent_fault_exhausts(self, tmp_path):
+        _blob_artifact().save(tmp_path)
+        with inject_faults(FaultSpec("serving.load", mode="raise", times=None)):
+            with pytest.raises(RecoveryExhaustedError) as excinfo:
+                ModelArtifact.load(tmp_path)
+        assert excinfo.value.site == "serving.load"
+
+    def test_malformed_artifact_is_not_retried(self, tmp_path):
+        # ArtifactError is a ValidationError: the policy must let it
+        # through untouched instead of burning retries on a bad input.
+        with pytest.raises(ArtifactError, match="manifest"):
+            ModelArtifact.load(tmp_path / "missing")
+
+    def test_predict_recovers_from_one_shot_nan(self):
+        art = _blob_artifact()
+        queries = _queries(art)
+        clean = Predictor(art).predict_scores(queries)
+        with inject_faults(FaultSpec("serving.predict", mode="nan", times=1)):
+            recovered = Predictor(art).predict_scores(queries)
+        np.testing.assert_array_equal(recovered, clean)
+
+    def test_predict_persistent_raise_recovers_via_serial_fallback(self):
+        art = _blob_artifact()
+        queries = _queries(art)
+        clean = Predictor(art).predict_scores(queries)
+        with inject_faults(
+            FaultSpec("serving.predict", mode="raise", times=None)
+        ):
+            recovered = Predictor(art).predict_scores(queries)
+        np.testing.assert_array_equal(recovered, clean)
+
+
+class _GatedPredictor(Predictor):
+    """Predictor whose predict blocks until the test opens the gate."""
+
+    def __init__(self, artifact, **kwargs):
+        super().__init__(artifact, **kwargs)
+        self.started = threading.Event()
+        self.gate = threading.Event()
+
+    def predict(self, views, **kwargs):
+        self.started.set()
+        assert self.gate.wait(timeout=10.0)
+        return super().predict(views, **kwargs)
+
+
+class TestPredictionService:
+    def test_concurrent_clients_match_serial_predict(self, small_dataset):
+        model = UnifiedMVSC(small_dataset.n_clusters, random_state=0)
+        model.fit(small_dataset.views)
+        predictor = Predictor(model.to_artifact())
+        serial = predictor.predict(small_dataset.views)
+        n = small_dataset.n_samples
+        results = [None] * n
+        n_clients = 8
+        with PredictionService(
+            predictor, max_batch=16, max_latency_ms=10.0
+        ) as service:
+
+            def client(worker):
+                for i in range(worker, n, n_clients):
+                    results[i] = service.predict_one(
+                        [v[i] for v in small_dataset.views]
+                    )
+
+            threads = [
+                threading.Thread(target=client, args=(worker,))
+                for worker in range(n_clients)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = service.stats()
+        np.testing.assert_array_equal(np.array(results), serial)
+        assert stats.completed == n
+        # Micro-batching actually coalesced: far fewer predicts than
+        # requests (worst observed in practice is ~n/2; assert the
+        # direction, not the timing).
+        assert stats.batches <= n
+
+    def test_backpressure_raises_typed_error(self):
+        art = _blob_artifact()
+        predictor = _GatedPredictor(art)
+        sample = [q[0] for q in _queries(art, m=1)]
+        service = PredictionService(
+            predictor, max_batch=1, max_latency_ms=0.0, max_queue=1
+        )
+        try:
+            first = service.submit(sample)
+            assert predictor.started.wait(timeout=10.0)
+            # Worker is inside predict; the queue (capacity 1) is free
+            # again, so one more request fits and the next must bounce.
+            second = service.submit(sample)
+            with pytest.raises(ServiceOverloadedError, match="full"):
+                service.submit(sample)
+            assert service.stats().rejected == 1
+        finally:
+            predictor.gate.set()
+            service.close()
+        assert first.result(timeout=10.0) == second.result(timeout=10.0)
+
+    def test_close_drains_pending_requests(self):
+        art = _blob_artifact()
+        predictor = _GatedPredictor(art)
+        sample = [q[0] for q in _queries(art, m=1)]
+        service = PredictionService(predictor, max_batch=4, max_latency_ms=0.0)
+        futures = [service.submit(sample) for _ in range(6)]
+        assert predictor.started.wait(timeout=10.0)
+        predictor.gate.set()
+        service.close()
+        labels = {f.result(timeout=10.0) for f in futures}
+        assert len(labels) == 1  # identical sample -> identical label
+        with pytest.raises(ServiceClosedError):
+            service.submit(sample)
+        assert service.stats().completed == 6
+
+    def test_close_is_idempotent(self):
+        service = PredictionService(Predictor(_blob_artifact()))
+        service.close()
+        service.close()
+
+    def test_submit_validates_sample(self):
+        art = _blob_artifact(n_views=2)
+        with PredictionService(Predictor(art)) as service:
+            with pytest.raises(ValidationError, match="views"):
+                service.submit([np.zeros(art.view_dims[0])])
+            with pytest.raises(ValidationError, match="shape"):
+                service.submit(
+                    [np.zeros(art.view_dims[0] + 1), np.zeros(art.view_dims[1])]
+                )
+            with pytest.raises(ValidationError, match="NaN"):
+                service.submit(
+                    [
+                        np.full(art.view_dims[0], np.nan),
+                        np.zeros(art.view_dims[1]),
+                    ]
+                )
+
+    def test_batch_exception_fans_out_to_futures(self):
+        art = _blob_artifact()
+
+        class _ExplodingPredictor(Predictor):
+            def predict(self, views, **kwargs):
+                raise RuntimeError("boom")
+
+        with PredictionService(_ExplodingPredictor(art)) as service:
+            future = service.submit([q[0] for q in _queries(art, m=1)])
+            with pytest.raises(RuntimeError, match="boom"):
+                future.result(timeout=10.0)
+
+    def test_invalid_parameters(self):
+        predictor = Predictor(_blob_artifact())
+        with pytest.raises(ValidationError, match="max_batch"):
+            PredictionService(predictor, max_batch=0)
+        with pytest.raises(ValidationError, match="max_queue"):
+            PredictionService(predictor, max_queue=0)
+        with pytest.raises(ValidationError, match="max_latency_ms"):
+            PredictionService(predictor, max_latency_ms=-1.0)
+        with pytest.raises(ValidationError, match="Predictor"):
+            PredictionService(object())
+
+    def test_service_metrics_flow_to_construction_trace(self):
+        art = _blob_artifact()
+        trace = Trace("service-test")
+        sample = [q[0] for q in _queries(art, m=1)]
+        with use_trace(trace):
+            with PredictionService(
+                Predictor(art), max_latency_ms=1.0
+            ) as service:
+                assert isinstance(service.predict_one(sample), int)
+                deadline = time.time() + 10.0
+                while (
+                    "serving.batch_size" not in trace.metrics.histograms
+                    and time.time() < deadline
+                ):
+                    time.sleep(0.01)
+        assert trace.metrics.counters["serving.submitted"].value == 1
+        assert "serving.batch_size" in trace.metrics.histograms
+        assert "serving.queue_depth" in trace.metrics.histograms
