@@ -1,0 +1,476 @@
+"""Benchmark-regression tracker: run tracked benches, record, compare.
+
+The paper's north star — "as fast as the hardware allows" — is only
+meaningful if wall-clock is a *tracked artifact*, not a one-off print.
+This module turns a declared subset of the ``benchmarks/bench_*`` suite
+into machine-readable perf records:
+
+* :data:`BENCHES` — the tracked scenarios (each mirrors one existing
+  ``bench_*`` workload at a runner-friendly size);
+* :func:`run_benches` — execute them under a
+  :class:`~repro.observability.trace.Trace` and a
+  :class:`~repro.observability.resource.ResourceSampler`, producing a
+  schema-versioned report (per-bench wall-clock, metrics dump, resource
+  peaks, machine fingerprint);
+* :func:`write_report` / :func:`load_report` — ``BENCH_<tag>.json``
+  persistence with schema validation;
+* :func:`compare_reports` — regression detection between two reports
+  with a configurable relative threshold, for the CI gate
+  (``repro bench compare`` exits nonzero on regression).
+
+Both entry points — ``repro bench {run,compare}`` and
+``python benchmarks/bench_runner.py`` — are thin wrappers over this
+module, so the tracker is importable (and unit-testable) wherever the
+package is installed.
+
+Because every bench body routes through the library's instrumented
+kernels, the fault-injection harness applies: arming
+``FaultSpec("model.fit", mode="delay", ...)`` around :func:`run_benches`
+deterministically slows the fit benches, which is how the regression
+gate itself is tested.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy
+
+from repro.exceptions import ValidationError
+from repro.observability.resource import ResourceSampler
+from repro.observability.trace import Trace, use_trace
+
+#: Format version of ``BENCH_*.json``; bump on breaking layout changes.
+SCHEMA_VERSION = 1
+
+#: Relative slowdown tolerated before a bench counts as regressed.
+DEFAULT_THRESHOLD = 0.25
+
+#: Benches faster than this are too noisy to gate on; compared but
+#: never flagged.
+MIN_GATED_SECONDS = 0.005
+
+
+# ---------------------------------------------------------------------------
+# Tracked bench workloads
+# ---------------------------------------------------------------------------
+
+
+def _bench_umsc_fit(quick: bool):
+    """One-stage solver fit (mirrors ``bench_fig3_runtime``)."""
+    from repro.core import UnifiedMVSC
+    from repro.datasets import make_multiview_blobs
+
+    n = 120 if quick else 300
+    ds = make_multiview_blobs(
+        n, 4, view_dims=(20, 30), separation=5.0, random_state=1
+    )
+
+    def work():
+        UnifiedMVSC(ds.n_clusters, random_state=0).fit(ds.views)
+
+    return work
+
+
+def _bench_anchor_fit(quick: bool):
+    """Anchor-accelerated fit (mirrors ``bench_ext_scalability``)."""
+    from repro.core import AnchorMVSC
+    from repro.datasets import make_multiview_blobs
+
+    n = 200 if quick else 800
+    ds = make_multiview_blobs(
+        n, 4, view_dims=(20, 30), separation=5.0, random_state=2
+    )
+
+    def work():
+        AnchorMVSC(ds.n_clusters, random_state=0).fit_predict(ds.views)
+
+    return work
+
+
+def _bench_graph_build(quick: bool):
+    """Per-view affinity construction (mirrors ``bench_ablation_graphs``)."""
+    from repro.datasets import make_multiview_blobs
+    from repro.graph.affinity import build_view_affinity
+
+    n = 250 if quick else 700
+    ds = make_multiview_blobs(
+        n, 4, view_dims=(24, 36), separation=4.0, random_state=3
+    )
+
+    def work():
+        for view in ds.views:
+            build_view_affinity(view, k=10)
+
+    return work
+
+
+def _bench_predict_batch(quick: bool):
+    """Batched inductive predict (the ``bench_serving_throughput`` kernel)."""
+    from repro.datasets import make_multiview_blobs
+    from repro.serving import ModelArtifact, Predictor
+
+    n = 200 if quick else 500
+    ds = make_multiview_blobs(
+        n, 4, view_dims=(16, 24), view_noise=(0.2, 0.3), random_state=4
+    )
+    artifact = ModelArtifact(
+        model_class="UnifiedMVSC",
+        train_views=ds.views,
+        train_labels=ds.labels,
+        view_weights=np.array([0.6, 0.4]),
+        n_clusters=ds.n_clusters,
+    )
+    predictor = Predictor(artifact)
+    queries = [np.repeat(v[: n // 2], 2, axis=0) for v in ds.views]
+
+    def work():
+        predictor.predict(queries)
+
+    return work
+
+
+def _bench_serving_throughput(quick: bool):
+    """Micro-batched replay (mirrors ``bench_serving_throughput``)."""
+    import threading
+
+    from repro.datasets import make_multiview_blobs
+    from repro.serving import ModelArtifact, PredictionService, Predictor
+
+    n_requests = 100 if quick else 400
+    n_clients = 4
+    ds = make_multiview_blobs(
+        150, 4, view_dims=(16, 24), view_noise=(0.2, 0.3), random_state=5
+    )
+    artifact = ModelArtifact(
+        model_class="UnifiedMVSC",
+        train_views=ds.views,
+        train_labels=ds.labels,
+        view_weights=np.array([0.6, 0.4]),
+        n_clusters=ds.n_clusters,
+    )
+    predictor = Predictor(artifact)
+    rng = np.random.default_rng(6)
+    order = rng.integers(0, ds.n_samples, size=n_requests)
+    samples = [[v[i] for v in ds.views] for i in order]
+
+    def work():
+        with PredictionService(
+            predictor, max_batch=64, max_latency_ms=0.0, max_queue=n_requests
+        ) as service:
+
+            def client(worker: int) -> None:
+                for i in range(worker, n_requests, n_clients):
+                    service.predict_one(samples[i])
+
+            threads = [
+                threading.Thread(target=client, args=(w,))
+                for w in range(n_clients)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+    return work
+
+
+#: The declared tracked subset: ``{name: (description, factory)}``.
+#: Each factory takes ``quick`` and returns the zero-argument timed body.
+BENCHES: dict = {
+    "umsc_fit": (
+        "UnifiedMVSC one-stage fit on synthetic blobs (bench_fig3_runtime)",
+        _bench_umsc_fit,
+    ),
+    "anchor_fit": (
+        "AnchorMVSC scalable fit on synthetic blobs (bench_ext_scalability)",
+        _bench_anchor_fit,
+    ),
+    "graph_build": (
+        "per-view kNN affinity construction (bench_ablation_graphs)",
+        _bench_graph_build,
+    ),
+    "predict_batch": (
+        "batched inductive Predictor.predict (bench_serving_throughput)",
+        _bench_predict_batch,
+    ),
+    "serving_throughput": (
+        "micro-batched PredictionService replay (bench_serving_throughput)",
+        _bench_serving_throughput,
+    ),
+}
+
+
+def machine_fingerprint() -> dict:
+    """Where a report was measured (for judging comparability)."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "numpy": np.__version__,
+        "scipy": scipy.__version__,
+    }
+
+
+def run_benches(
+    names=None,
+    *,
+    quick: bool = False,
+    repeats: int = 3,
+    tag: str = "local",
+) -> dict:
+    """Execute tracked benches; return the schema-versioned report.
+
+    Parameters
+    ----------
+    names : sequence of str, optional
+        Subset of :data:`BENCHES` to run (default: all, in declaration
+        order).  Unknown names raise :class:`ValidationError`.
+    quick : bool
+        Use the reduced problem sizes (the CI smoke configuration).
+    repeats : int
+        Timed repetitions per bench after one untimed warmup; the
+        headline ``seconds`` is the minimum (least-noise statistic).
+    tag : str
+        Label stored in the report (conventionally the ``<tag>`` of
+        ``BENCH_<tag>.json``).
+
+    Each bench runs inside its own trace and resource sampler, so the
+    report carries the metrics snapshot (eigensolver calls, GPI inner
+    iterations, serving latencies, ...) and RSS/CPU peaks alongside the
+    wall-clock.
+    """
+    if names is None:
+        selected = list(BENCHES)
+    else:
+        selected = list(names)
+        unknown = [n for n in selected if n not in BENCHES]
+        if unknown:
+            raise ValidationError(
+                f"unknown bench names {unknown}; tracked benches: "
+                f"{sorted(BENCHES)}"
+            )
+    if int(repeats) < 1:
+        raise ValidationError(f"repeats must be >= 1, got {repeats}")
+
+    benches: dict = {}
+    for name in selected:
+        description, factory = BENCHES[name]
+        work = factory(quick)
+        work()  # warmup: JIT-free but touches caches, allocators, BLAS
+        runs: list[float] = []
+        trace = Trace(f"bench:{name}")
+        with ResourceSampler(interval_seconds=0.01) as sampler:
+            with use_trace(trace):
+                for _ in range(int(repeats)):
+                    start = time.perf_counter()
+                    work()
+                    runs.append(time.perf_counter() - start)
+        benches[name] = {
+            "description": description,
+            "seconds": min(runs),
+            "runs": runs,
+            "metrics": _jsonsafe(trace.metrics.snapshot()),
+            "resources": sampler.summary(),
+        }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "tag": tag,
+        "created_unix": time.time(),
+        "quick": bool(quick),
+        "repeats": int(repeats),
+        "machine": machine_fingerprint(),
+        "benches": benches,
+    }
+
+
+def _jsonsafe(payload):
+    """Replace non-finite floats with None for strict-JSON output."""
+    if isinstance(payload, dict):
+        return {k: _jsonsafe(v) for k, v in payload.items()}
+    if isinstance(payload, list):
+        return [_jsonsafe(v) for v in payload]
+    if isinstance(payload, float) and not np.isfinite(payload):
+        return None
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Report persistence
+# ---------------------------------------------------------------------------
+
+
+def write_report(report: dict, path) -> str:
+    """Serialize a report to ``path`` (conventionally ``BENCH_<tag>.json``)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return str(path)
+
+
+def load_report(path) -> dict:
+    """Read and validate a ``BENCH_*.json`` report.
+
+    Raises
+    ------
+    ValidationError
+        Unparseable JSON, missing keys, or an unknown schema version.
+    """
+    try:
+        with open(path, encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValidationError(f"cannot read bench report {path}: {exc}") from exc
+    if not isinstance(report, dict) or "schema_version" not in report:
+        raise ValidationError(
+            f"{path} is not a bench report (no schema_version key)"
+        )
+    if report["schema_version"] != SCHEMA_VERSION:
+        raise ValidationError(
+            f"{path} has schema_version {report['schema_version']!r}; this "
+            f"tracker reads version {SCHEMA_VERSION}"
+        )
+    if not isinstance(report.get("benches"), dict):
+        raise ValidationError(f"{path} has no 'benches' mapping")
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Comparison / regression gate
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BenchDelta:
+    """One bench's baseline-vs-current comparison row."""
+
+    name: str
+    baseline_seconds: float
+    current_seconds: float
+    regressed: bool
+
+    @property
+    def ratio(self) -> float:
+        """``current / baseline`` (inf when the baseline is 0)."""
+        if self.baseline_seconds <= 0:
+            return float("inf")
+        return self.current_seconds / self.baseline_seconds
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Outcome of :func:`compare_reports`.
+
+    Attributes
+    ----------
+    deltas : list of BenchDelta
+        One row per bench present in both reports.
+    missing : list of str
+        Benches in the baseline but absent from the current report
+        (treated as a failure: coverage silently shrank).
+    new : list of str
+        Benches only in the current report (informational).
+    threshold : float
+        Relative slowdown gate the rows were judged against.
+    """
+
+    deltas: list = field(default_factory=list)
+    missing: list = field(default_factory=list)
+    new: list = field(default_factory=list)
+    threshold: float = DEFAULT_THRESHOLD
+
+    @property
+    def regressions(self) -> list:
+        """The rows that exceeded the threshold."""
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing regressed and no coverage went missing."""
+        return not self.regressions and not self.missing
+
+
+def compare_reports(
+    baseline: dict,
+    current: dict,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Comparison:
+    """Judge ``current`` against ``baseline`` bench by bench.
+
+    A bench regresses when its headline seconds exceed the baseline by
+    more than ``threshold`` (relative) *and* the baseline is above
+    :data:`MIN_GATED_SECONDS` (sub-5ms timings are timer noise).
+    Speedups never fail; comparing reports from different machines is
+    allowed but the fingerprints are the caller's responsibility.
+    """
+    if float(threshold) < 0:
+        raise ValidationError(f"threshold must be >= 0, got {threshold}")
+    base_benches = baseline["benches"]
+    cur_benches = current["benches"]
+    deltas = []
+    for name, base in base_benches.items():
+        if name not in cur_benches:
+            continue
+        base_s = float(base["seconds"])
+        cur_s = float(cur_benches[name]["seconds"])
+        regressed = (
+            base_s > MIN_GATED_SECONDS
+            and cur_s > base_s * (1.0 + float(threshold))
+        )
+        deltas.append(
+            BenchDelta(
+                name=name,
+                baseline_seconds=base_s,
+                current_seconds=cur_s,
+                regressed=regressed,
+            )
+        )
+    return Comparison(
+        deltas=deltas,
+        missing=sorted(set(base_benches) - set(cur_benches)),
+        new=sorted(set(cur_benches) - set(base_benches)),
+        threshold=float(threshold),
+    )
+
+
+def format_comparison(comparison: Comparison) -> str:
+    """Human-readable comparison table plus verdict lines."""
+    from repro.evaluation.tables import format_rows
+
+    rows = []
+    for d in comparison.deltas:
+        rows.append(
+            [
+                d.name,
+                f"{d.baseline_seconds:.3f}s",
+                f"{d.current_seconds:.3f}s",
+                f"{d.ratio:.2f}x",
+                "REGRESSED" if d.regressed else "ok",
+            ]
+        )
+    lines = [
+        format_rows(
+            ["bench", "baseline", "current", "ratio", "verdict"], rows
+        )
+    ]
+    if comparison.missing:
+        lines.append(
+            "missing from current report: " + ", ".join(comparison.missing)
+        )
+    if comparison.new:
+        lines.append("new benches (no baseline): " + ", ".join(comparison.new))
+    n_reg = len(comparison.regressions)
+    lines.append(
+        f"{n_reg} regression(s) at threshold "
+        f"+{comparison.threshold:.0%}"
+        + ("" if comparison.ok else " — FAIL")
+    )
+    return "\n".join(lines)

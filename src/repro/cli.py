@@ -18,7 +18,16 @@ Six subcommands mirror the evaluation artifacts:
 * ``serve``       — offline micro-batching benchmark: replay a
   benchmark's samples as single-sample requests through a
   :class:`~repro.serving.service.PredictionService` and compare
-  throughput against one-at-a-time prediction.
+  throughput against one-at-a-time prediction
+  (``--telemetry-port`` exposes ``/metrics`` / ``/healthz`` /
+  ``/stats`` during the replay);
+* ``metrics``     — ``metrics dump`` runs one traced fit and renders
+  its metrics registry via the export layer (``--format prom|json``);
+* ``bench``       — the benchmark-regression tracker
+  (:mod:`repro.bench`): ``bench run`` writes a schema-versioned
+  ``BENCH_<tag>.json`` (wall-clock, metrics dump, resource peaks,
+  machine fingerprint), ``bench compare`` gates one report against a
+  baseline with a configurable threshold (nonzero exit for CI).
 
 ``run`` exposes the observability layer: ``--verbose`` streams one line
 per solver iteration to stderr, ``--trace PATH`` writes the spans and
@@ -201,6 +210,82 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--clients", type=int, default=4)
     serve_p.add_argument("--max-batch", type=int, default=32)
     serve_p.add_argument("--max-latency-ms", type=float, default=5.0)
+    serve_p.add_argument(
+        "--telemetry-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="expose /metrics, /healthz, /stats on 127.0.0.1:PORT "
+        "during the replay (0 = pick a free port)",
+    )
+
+    metrics_p = sub.add_parser(
+        "metrics", help="export a run's metrics registry"
+    )
+    metrics_sub = metrics_p.add_subparsers(dest="metrics_command", required=True)
+    dump_p = metrics_sub.add_parser(
+        "dump",
+        help="run one traced fit and render its registry "
+        "(Prometheus text or JSON)",
+    )
+    dump_p.add_argument("--dataset", required=True, choices=available_benchmarks())
+    dump_p.add_argument(
+        "--method",
+        default="UMSC",
+        choices=sorted(default_method_registry()),
+    )
+    dump_p.add_argument("--seed", type=int, default=0)
+    dump_p.add_argument(
+        "--format",
+        dest="fmt",
+        default="prom",
+        choices=["prom", "json"],
+        help="Prometheus text exposition format or structured JSON",
+    )
+
+    bench_p = sub.add_parser(
+        "bench", help="benchmark-regression tracker (run / compare)"
+    )
+    bench_sub = bench_p.add_subparsers(dest="bench_command", required=True)
+    bench_run_p = bench_sub.add_parser(
+        "run", help="run the tracked bench subset, write BENCH_<tag>.json"
+    )
+    bench_run_p.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced problem sizes (the CI smoke configuration)",
+    )
+    bench_run_p.add_argument(
+        "--benches",
+        default="",
+        help="comma-separated tracked bench names (default: all)",
+    )
+    bench_run_p.add_argument("--repeats", type=int, default=3)
+    bench_run_p.add_argument("--tag", default="local")
+    bench_run_p.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="report path (default BENCH_<tag>.json in the cwd)",
+    )
+    bench_cmp_p = bench_sub.add_parser(
+        "compare",
+        help="compare two BENCH_*.json reports; exit 1 on regression",
+    )
+    bench_cmp_p.add_argument("baseline", help="baseline BENCH_*.json")
+    bench_cmp_p.add_argument("current", help="current BENCH_*.json")
+    bench_cmp_p.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="relative slowdown gate (default 0.25 = +25%%)",
+    )
+    bench_cmp_p.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but always exit 0 (CI advisory mode)",
+    )
     return parser
 
 
@@ -447,7 +532,14 @@ def _cmd_serve(args, out) -> int:
         max_batch=args.max_batch,
         max_latency_ms=args.max_latency_ms,
         max_queue=max(1024, n_requests),
+        telemetry_port=args.telemetry_port,
     ) as service:
+        if service.telemetry_url is not None:
+            print(
+                f"telemetry: {service.telemetry_url} "
+                f"(/metrics /healthz /stats)",
+                file=out,
+            )
         tick = time.perf_counter()
 
         def client(worker: int) -> None:
@@ -465,6 +557,7 @@ def _cmd_serve(args, out) -> int:
         batched_seconds = time.perf_counter() - tick
         stats = service.stats()
 
+    latency = service.metrics.histograms.get("serving.request_seconds")
     mismatches = sum(1 for a, b in zip(results, serial) if a != b)
     print(f"{predictor!r}", file=out)
     print(
@@ -485,8 +578,78 @@ def _cmd_serve(args, out) -> int:
         f"{stats.mean_batch_size:.1f}, max {stats.max_batch_size}",
         file=out,
     )
+    if latency is not None and latency.count:
+        q = latency.quantile_summary()
+        print(
+            "  request latency: "
+            + " ".join(f"{k}={1e3 * v:.1f}ms" for k, v in q.items()),
+            file=out,
+        )
     print(f"  label mismatches vs serial: {mismatches}", file=out)
     return 0 if mismatches == 0 else 1
+
+
+def _cmd_metrics(args, out) -> int:
+    from repro.observability import render_json, render_prometheus
+
+    dataset = load_benchmark(args.dataset)
+    spec = default_method_registry()[args.method]
+    trace = Trace(f"metrics:{args.dataset}:{args.method}")
+    with use_trace(trace):
+        run_method_once(spec, dataset, args.seed, metrics=("acc",))
+    if args.fmt == "json":
+        print(render_json(trace.metrics), file=out)
+    else:
+        print(render_prometheus(trace.metrics), file=out, end="")
+    return 0
+
+
+def _cmd_bench(args, out) -> int:
+    from repro import bench as bench_mod
+
+    if args.bench_command == "run":
+        names = [n.strip() for n in args.benches.split(",") if n.strip()]
+        report = bench_mod.run_benches(
+            names or None,
+            quick=args.quick,
+            repeats=args.repeats,
+            tag=args.tag,
+        )
+        path = args.out or f"BENCH_{args.tag}.json"
+        bench_mod.write_report(report, path)
+        for name, entry in report["benches"].items():
+            peak = entry["resources"]["peak_rss_bytes"] / 1e6
+            print(
+                f"  {name:<20} {entry['seconds']:.3f}s "
+                f"(peak rss {peak:.0f} MB)",
+                file=out,
+            )
+        print(
+            f"wrote {len(report['benches'])} bench entries -> {path} "
+            f"(tag {report['tag']!r}, "
+            f"{'quick' if report['quick'] else 'full'} sizes)",
+            file=out,
+        )
+        return 0
+    if args.bench_command == "compare":
+        baseline = bench_mod.load_report(args.baseline)
+        current = bench_mod.load_report(args.current)
+        threshold = (
+            bench_mod.DEFAULT_THRESHOLD
+            if args.threshold is None
+            else args.threshold
+        )
+        comparison = bench_mod.compare_reports(
+            baseline, current, threshold=threshold
+        )
+        print(bench_mod.format_comparison(comparison), file=out)
+        if comparison.ok:
+            return 0
+        if args.warn_only:
+            print("warn-only mode: not failing the gate", file=out)
+            return 0
+        return 1
+    raise AssertionError(f"unhandled bench command {args.bench_command!r}")
 
 
 def _cmd_convergence(args, out) -> int:
@@ -558,4 +721,8 @@ def main(argv=None, out=None) -> int:
         return _cmd_predict(args, out)
     if args.command == "serve":
         return _cmd_serve(args, out)
+    if args.command == "metrics":
+        return _cmd_metrics(args, out)
+    if args.command == "bench":
+        return _cmd_bench(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

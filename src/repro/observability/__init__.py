@@ -13,7 +13,13 @@ per-iteration data.  This subsystem provides it in three layers:
 * :mod:`repro.observability.events` / :mod:`repro.observability.sinks`
   — a :class:`FitCallback` protocol carrying one structured
   :class:`IterationEvent` per outer solver iteration, with pluggable
-  sinks (in-memory recorder, JSONL file writer, stdlib-``logging``).
+  sinks (in-memory recorder, JSONL file writer, stdlib-``logging``);
+* :mod:`repro.observability.export` — Prometheus-text and JSON
+  renderers for any :class:`MetricsRegistry` (the serving ``/metrics``
+  endpoint and ``repro metrics dump`` are built on these);
+* :mod:`repro.observability.resource` — a background RSS / CPU-time
+  sampler (:class:`ResourceSampler`) attachable to fits, experiment
+  runs, benchmarks, and the serving process.
 
 Tracing is **off by default** and observably zero-impact on results:
 with no active trace every ``span(...)`` returns a shared no-op handle,
@@ -30,7 +36,24 @@ from repro.observability.events import (
     IterationEvent,
     dispatch_event,
 )
-from repro.observability.metrics import Counter, Histogram, MetricsRegistry
+from repro.observability.export import (
+    PROMETHEUS_CONTENT_TYPE,
+    prometheus_name,
+    render_json,
+    render_prometheus,
+)
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observability.resource import (
+    ResourceSample,
+    ResourceSampler,
+    read_cpu_seconds,
+    read_rss_bytes,
+)
 from repro.observability.sinks import (
     JsonlSink,
     LoggingSink,
@@ -41,8 +64,10 @@ from repro.observability.trace import (
     SpanRecord,
     Trace,
     current_trace,
+    last_trace,
     metric_inc,
     metric_observe,
+    metric_set,
     span,
     use_trace,
 )
@@ -51,19 +76,30 @@ __all__ = [
     "Counter",
     "FitCallback",
     "FitDiagnostics",
+    "Gauge",
     "Histogram",
     "IterationEvent",
     "JsonlSink",
     "LoggingSink",
     "MetricsRegistry",
+    "PROMETHEUS_CONTENT_TYPE",
+    "ResourceSample",
+    "ResourceSampler",
     "SpanRecord",
     "Trace",
     "TraceRecorder",
     "current_trace",
     "dispatch_event",
+    "last_trace",
     "metric_inc",
     "metric_observe",
+    "metric_set",
+    "prometheus_name",
+    "read_cpu_seconds",
     "read_jsonl",
+    "read_rss_bytes",
+    "render_json",
+    "render_prometheus",
     "span",
     "use_trace",
 ]

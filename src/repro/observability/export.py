@@ -1,0 +1,126 @@
+"""Render a :class:`~repro.observability.metrics.MetricsRegistry` for export.
+
+Two render targets cover scraping and archival:
+
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (``text/plain; version=0.0.4``): counters as ``*_total``, gauges
+  verbatim, histograms as summaries with ``quantile`` labels plus
+  ``*_sum`` / ``*_count``.  This is what the serving ``/metrics``
+  endpoint serves.
+* :func:`render_json` — the registry snapshot as a JSON document
+  (counters / gauges / histogram summaries with quantiles), for log
+  shipping and the ``BENCH_*.json`` perf tracker.
+
+Metric names are sanitized to the Prometheus grammar
+(``[a-zA-Z_:][a-zA-Z0-9_:]*``): the registry's dotted names
+(``serving.queue_depth``) become underscore names prefixed with the
+library namespace (``repro_serving_queue_depth``).
+
+Examples
+--------
+>>> from repro.observability.metrics import MetricsRegistry
+>>> registry = MetricsRegistry()
+>>> registry.counter("eigsh.calls").inc(3)
+>>> print(render_prometheus(registry), end="")
+# TYPE repro_eigsh_calls_total counter
+repro_eigsh_calls_total 3
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+
+from repro.observability.metrics import MetricsRegistry
+
+#: Content type the Prometheus text format should be served under.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Quantile levels exported for every histogram summary.
+SUMMARY_QUANTILES = (0.5, 0.9, 0.95, 0.99)
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_LEADING_DIGIT = re.compile(r"^[0-9]")
+
+
+def prometheus_name(name: str, *, prefix: str = "repro") -> str:
+    """Map a dotted registry name onto the Prometheus metric grammar.
+
+    >>> prometheus_name("serving.queue_depth")
+    'repro_serving_queue_depth'
+    """
+    flat = _INVALID_CHARS.sub("_", name)
+    if prefix:
+        flat = f"{prefix}_{flat}"
+    if _LEADING_DIGIT.match(flat):
+        flat = f"_{flat}"
+    return flat
+
+
+def _format_value(value: float) -> str:
+    """One sample value in Prometheus text syntax (NaN / +Inf aware)."""
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(registry: MetricsRegistry, *, prefix: str = "repro") -> str:
+    """The registry in Prometheus text exposition format.
+
+    Counters render with the conventional ``_total`` suffix, gauges as
+    plain samples, and histograms as Prometheus *summaries*: one
+    ``{quantile="..."}`` sample per level in
+    :data:`SUMMARY_QUANTILES` (only when observations exist) plus the
+    exact ``_sum`` and ``_count`` series.  Families are emitted in
+    sorted-name order so output is stable for golden tests.
+    """
+    lines: list[str] = []
+    for name in sorted(registry.counters):
+        flat = prometheus_name(name, prefix=prefix) + "_total"
+        lines.append(f"# TYPE {flat} counter")
+        lines.append(f"{flat} {_format_value(registry.counters[name].value)}")
+    for name in sorted(registry.gauges):
+        flat = prometheus_name(name, prefix=prefix)
+        lines.append(f"# TYPE {flat} gauge")
+        lines.append(f"{flat} {_format_value(registry.gauges[name].value)}")
+    for name in sorted(registry.histograms):
+        hist = registry.histograms[name]
+        flat = prometheus_name(name, prefix=prefix)
+        lines.append(f"# TYPE {flat} summary")
+        if hist.count:
+            quantiles = hist.quantile_summary(
+                tuple(100.0 * q for q in SUMMARY_QUANTILES)
+            )
+            for q, level in zip(SUMMARY_QUANTILES, quantiles.values()):
+                lines.append(
+                    f'{flat}{{quantile="{q:g}"}} {_format_value(level)}'
+                )
+        lines.append(f"{flat}_sum {_format_value(hist.total)}")
+        lines.append(f"{flat}_count {hist.count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_json(registry: MetricsRegistry, *, indent: int | None = 2) -> str:
+    """The registry snapshot as a JSON document (quantiles included).
+
+    Non-finite values (an empty histogram's ``min``) are serialized as
+    ``null`` so the output is strict JSON any consumer can parse.
+    """
+    return json.dumps(_nan_to_none(registry.snapshot()), indent=indent)
+
+
+def _nan_to_none(payload):
+    """Deep-copy ``payload`` with non-finite floats replaced by None."""
+    if isinstance(payload, dict):
+        return {k: _nan_to_none(v) for k, v in payload.items()}
+    if isinstance(payload, list):
+        return [_nan_to_none(v) for v in payload]
+    if isinstance(payload, float) and not math.isfinite(payload):
+        return None
+    return payload

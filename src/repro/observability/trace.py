@@ -38,6 +38,11 @@ _ACTIVE: ContextVar["Trace | None"] = ContextVar(
     "repro_active_trace", default=None
 )
 
+#: Most recently deactivated trace (set on :class:`use_trace` exit), so
+#: tooling like ``repro metrics dump`` can render a run's registry after
+#: the run's context has closed.
+_LAST: "Trace | None" = None
+
 
 @dataclass
 class SpanRecord:
@@ -197,6 +202,17 @@ def current_trace() -> Trace | None:
     return _ACTIVE.get()
 
 
+def last_trace() -> Trace | None:
+    """The active trace, else the most recently deactivated one.
+
+    Export tooling (``repro metrics dump``, the benchmark runner) uses
+    this to reach a run's metrics registry without threading the trace
+    object through every call site.
+    """
+    active = _ACTIVE.get()
+    return active if active is not None else _LAST
+
+
 def span(name: str, **attributes):
     """Bracket a timed region of the active trace.
 
@@ -225,6 +241,13 @@ def metric_observe(name: str, value: float) -> None:
         trace.metrics.histogram(name).observe(value)
 
 
+def metric_set(name: str, value: float) -> None:
+    """Set gauge ``name`` on the active trace (no-op if none)."""
+    trace = _ACTIVE.get()
+    if trace is not None:
+        trace.metrics.gauge(name).set(value)
+
+
 class use_trace:
     """Context manager activating ``trace`` for the enclosed block.
 
@@ -251,6 +274,8 @@ class use_trace:
         return self.trace
 
     def __exit__(self, *exc) -> bool:
+        global _LAST
         _ACTIVE.reset(self._token)
+        _LAST = self.trace
         self.trace.close()
         return False

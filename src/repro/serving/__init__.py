@@ -12,7 +12,12 @@ unit:
   implementation shared with
   :func:`repro.core.out_of_sample.propagate_labels`).
 * :class:`~repro.serving.service.PredictionService` — thread-based
-  micro-batching request queue with backpressure and graceful shutdown.
+  micro-batching request queue with backpressure, graceful shutdown,
+  and a service-owned runtime-telemetry registry (request latency
+  histograms, queue-depth gauge).
+* :class:`~repro.serving.telemetry.TelemetryServer` — opt-in localhost
+  HTTP thread exposing ``/metrics`` (Prometheus text), ``/healthz``
+  (draining-aware), and ``/stats`` (JSON) for a running service.
 
 This package never imports :mod:`repro.core`; the dependency points the
 other way (models gain ``save``/``load`` by building artifacts here).
@@ -21,12 +26,14 @@ other way (models gain ``save``/``load`` by building artifacts here).
 from repro.serving.artifact import ModelArtifact, library_versions
 from repro.serving.predictor import Predictor, kernel_vote_scores
 from repro.serving.service import PredictionService, ServiceStats
+from repro.serving.telemetry import TelemetryServer
 
 __all__ = [
     "ModelArtifact",
     "Predictor",
     "PredictionService",
     "ServiceStats",
+    "TelemetryServer",
     "kernel_vote_scores",
     "library_versions",
 ]

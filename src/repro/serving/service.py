@@ -26,6 +26,14 @@ Operational properties:
   (the worker runs in a snapshot of the construction-time context, so
   traces, caches, failure policies, and armed fault plans all apply to
   the batched predicts).
+* **Runtime telemetry** — independent of any trace, the service owns a
+  :class:`~repro.observability.metrics.MetricsRegistry` (``.metrics``)
+  recording per-request queue-wait, coalesce, and end-to-end latency
+  histograms, batch sizes, and a live queue-depth gauge (disable with
+  ``telemetry=False``).  ``telemetry_port=`` additionally starts a
+  localhost HTTP thread serving ``/metrics`` (Prometheus text),
+  ``/healthz`` (draining-aware), and ``/stats`` (JSON) — see
+  :mod:`repro.serving.telemetry`.
 * **Determinism** — batch composition depends on arrival timing, but
   the predictor's per-query independence makes every result identical
   to a serial ``predict`` of that sample, whatever batch it rode in.
@@ -63,6 +71,7 @@ from repro.exceptions import (
     ServiceOverloadedError,
     ValidationError,
 )
+from repro.observability.metrics import MetricsRegistry
 from repro.observability.trace import metric_inc, metric_observe, span
 from repro.serving.predictor import Predictor
 
@@ -94,21 +103,37 @@ class ServiceStats:
     rejected: int
     batches: int
     max_batch_size: int
+    queue_depth: int = 0
 
     @property
     def mean_batch_size(self) -> float:
         """Average requests per batch (``nan`` before the first batch)."""
         return self.completed / self.batches if self.batches else float("nan")
 
+    def to_dict(self) -> dict:
+        """JSON-ready representation (served by the ``/stats`` endpoint)."""
+        mean = self.mean_batch_size
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "batches": self.batches,
+            "max_batch_size": self.max_batch_size,
+            "queue_depth": self.queue_depth,
+            "mean_batch_size": None if self.batches == 0 else mean,
+        }
+
 
 class _Request:
     """One enqueued sample: its per-view rows and the result future."""
 
-    __slots__ = ("rows", "future")
+    __slots__ = ("rows", "future", "submitted_at", "dequeued_at")
 
     def __init__(self, rows: list) -> None:
         self.rows = rows
         self.future: Future = Future()
+        self.submitted_at = 0.0
+        self.dequeued_at = 0.0
 
 
 class PredictionService:
@@ -129,6 +154,22 @@ class PredictionService:
     max_queue : int
         Bound on queued (not yet batched) requests; the backpressure
         knob.
+    telemetry : bool
+        Record request-level runtime telemetry into the service-owned
+        :attr:`metrics` registry: ``serving.queue_wait_seconds`` /
+        ``serving.coalesce_seconds`` / ``serving.request_seconds`` /
+        ``serving.batch_size`` / ``serving.batch_seconds`` histograms
+        and the ``serving.queue_depth`` gauge.  On by default (the
+        recording cost is a few lock-guarded floats per request, < 3%
+        of serving throughput — a bench asserts the budget); ``False``
+        skips every timestamp and registry touch.
+    telemetry_port : int or None
+        When given, start a :class:`~repro.serving.telemetry.
+        TelemetryServer` exposing ``/metrics`` (Prometheus text),
+        ``/healthz`` (draining-aware), and ``/stats`` (JSON) on
+        ``127.0.0.1:port`` (``0`` picks a free port; see
+        :attr:`telemetry_url`).  Implies nothing about ``telemetry`` —
+        pair it with the default ``True`` for meaningful output.
     """
 
     def __init__(
@@ -138,6 +179,8 @@ class PredictionService:
         max_batch: int = 32,
         max_latency_ms: float = 5.0,
         max_queue: int = 1024,
+        telemetry: bool = True,
+        telemetry_port: int | None = None,
     ) -> None:
         if not isinstance(predictor, Predictor):
             raise ValidationError(
@@ -164,6 +207,20 @@ class PredictionService:
         self._rejected = 0
         self._batches = 0
         self._max_batch_seen = 0
+        self._telemetry = bool(telemetry)
+        self.metrics = MetricsRegistry()
+        if self._telemetry:
+            # Pre-register the runtime families so a scrape sees them
+            # (with zero counts) even before the first request lands.
+            self.metrics.gauge("serving.queue_depth")
+            for name in (
+                "serving.queue_wait_seconds",
+                "serving.coalesce_seconds",
+                "serving.request_seconds",
+                "serving.batch_size",
+                "serving.batch_seconds",
+            ):
+                self.metrics.histogram(name)
         context = contextvars.copy_context()
         self._worker = threading.Thread(
             target=lambda: context.run(self._serve_loop),
@@ -171,6 +228,13 @@ class PredictionService:
             daemon=True,
         )
         self._worker.start()
+        self._telemetry_server = None
+        if telemetry_port is not None:
+            from repro.serving.telemetry import TelemetryServer
+
+            self._telemetry_server = TelemetryServer(
+                self, port=telemetry_port
+            )
 
     # -- client side -------------------------------------------------------
 
@@ -198,6 +262,8 @@ class PredictionService:
         """
         rows = self._check_sample(sample_views)
         request = _Request(rows)
+        if self._telemetry:
+            request.submitted_at = time.perf_counter()
         with self._lock:
             if self._closed:
                 raise ServiceClosedError(
@@ -208,6 +274,8 @@ class PredictionService:
             except queue.Full:
                 self._rejected += 1
                 metric_inc("serving.rejected")
+                if self._telemetry:
+                    self.metrics.counter("serving.rejected").inc()
                 raise ServiceOverloadedError(
                     f"prediction queue is full ({self.max_queue} requests "
                     f"pending); retry later or raise max_queue"
@@ -215,6 +283,9 @@ class PredictionService:
             self._submitted += 1
         metric_inc("serving.submitted")
         metric_observe("serving.queue_depth", self._queue.qsize())
+        if self._telemetry:
+            self.metrics.counter("serving.submitted").inc()
+            self.metrics.gauge("serving.queue_depth").set(self._queue.qsize())
         return request.future
 
     def predict_one(self, sample_views, *, timeout: float | None = 30.0):
@@ -230,7 +301,25 @@ class PredictionService:
                 rejected=self._rejected,
                 batches=self._batches,
                 max_batch_size=self._max_batch_seen,
+                queue_depth=self._queue.qsize(),
             )
+
+    @property
+    def draining(self) -> bool:
+        """Whether :meth:`close` has begun but queued work remains."""
+        return self._closed and self._worker.is_alive()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    @property
+    def telemetry_url(self) -> str | None:
+        """Base URL of the telemetry endpoints (None when disabled)."""
+        if self._telemetry_server is None:
+            return None
+        return self._telemetry_server.url
 
     def close(self, *, timeout: float | None = None) -> None:
         """Stop accepting requests, drain the queue, join the worker.
@@ -249,6 +338,11 @@ class PredictionService:
             # worker drains them all before it sees the stop signal.
             self._queue.put(_STOP)
         self._worker.join(timeout=timeout)
+        if self._telemetry_server is not None:
+            # Kept up through the drain so /healthz can report it;
+            # stopped only once the worker is done.
+            self._telemetry_server.close()
+            self._telemetry_server = None
 
     def __enter__(self) -> "PredictionService":
         return self
@@ -296,6 +390,8 @@ class PredictionService:
             item = self._queue.get()
             if item is _STOP:
                 return
+            if self._telemetry:
+                item.dequeued_at = time.perf_counter()
             batch = [item]
             deadline = time.perf_counter() + self.max_latency
             stop_after = False
@@ -317,6 +413,8 @@ class PredictionService:
                 if nxt is _STOP:
                     stop_after = True
                     break
+                if self._telemetry:
+                    nxt.dequeued_at = time.perf_counter()
                 batch.append(nxt)
             self._run_batch(batch)
             if stop_after:
@@ -342,5 +440,21 @@ class PredictionService:
             self._completed += len(batch)
             self._batches += 1
             self._max_batch_seen = max(self._max_batch_seen, len(batch))
+        done = time.perf_counter()
         metric_observe("serving.batch_size", len(batch))
-        metric_observe("serving.batch_seconds", time.perf_counter() - tick)
+        metric_observe("serving.batch_seconds", done - tick)
+        if self._telemetry:
+            m = self.metrics
+            m.histogram("serving.batch_size").observe(len(batch))
+            m.histogram("serving.batch_seconds").observe(done - tick)
+            # Coalesce latency: first dequeue -> dispatch of the predict.
+            m.histogram("serving.coalesce_seconds").observe(
+                tick - batch[0].dequeued_at
+            )
+            queue_wait = m.histogram("serving.queue_wait_seconds")
+            e2e = m.histogram("serving.request_seconds")
+            for request in batch:
+                queue_wait.observe(request.dequeued_at - request.submitted_at)
+                e2e.observe(done - request.submitted_at)
+            m.counter("serving.completed").inc(len(batch))
+            m.gauge("serving.queue_depth").set(self._queue.qsize())

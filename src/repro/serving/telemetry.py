@@ -1,0 +1,167 @@
+"""HTTP telemetry endpoints for a running :class:`PredictionService`.
+
+A :class:`TelemetryServer` is a stdlib-only (:mod:`http.server`)
+localhost endpoint running on its own daemon thread, giving operators a
+scrape surface without any new dependency:
+
+* ``GET /metrics`` — the service's
+  :class:`~repro.observability.metrics.MetricsRegistry` rendered in
+  Prometheus text format (request-latency quantiles, queue-depth gauge,
+  process RSS/CPU gauges from the attached
+  :class:`~repro.observability.resource.ResourceSampler`);
+* ``GET /healthz`` — ``200 ok`` while serving, ``503 draining`` once
+  :meth:`~repro.serving.service.PredictionService.close` has begun but
+  queued requests are still being drained;
+* ``GET /stats`` — the
+  :class:`~repro.serving.service.ServiceStats` snapshot plus the full
+  registry snapshot as a JSON document.
+
+Constructed by ``PredictionService(..., telemetry_port=0)`` (port 0
+binds an ephemeral port; read it back from
+:attr:`PredictionService.telemetry_url`), or standalone around any
+service instance.  Binds 127.0.0.1 only — this is operator telemetry,
+not a public API.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.observability.export import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
+)
+from repro.observability.resource import ResourceSampler
+
+
+class _TelemetryHandler(BaseHTTPRequestHandler):
+    """Routes the three read-only telemetry endpoints."""
+
+    server_version = "repro-telemetry"
+
+    def log_message(self, *args) -> None:  # silence per-request stderr spam
+        pass
+
+    def do_GET(self) -> None:
+        telemetry: "TelemetryServer" = self.server.telemetry
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body, status, ctype = telemetry.metrics_payload()
+        elif path == "/healthz":
+            body, status, ctype = telemetry.health_payload()
+        elif path == "/stats":
+            body, status, ctype = telemetry.stats_payload()
+        else:
+            body, status, ctype = (
+                "not found; endpoints: /metrics /healthz /stats\n",
+                404,
+                "text/plain; charset=utf-8",
+            )
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+
+class TelemetryServer:
+    """Localhost HTTP thread exposing one service's runtime telemetry.
+
+    Parameters
+    ----------
+    service : PredictionService
+        The service whose registry, stats, and drain state are served.
+    port : int
+        TCP port on 127.0.0.1 (``0`` = ephemeral; see :attr:`url`).
+    sample_resources : bool
+        Attach a :class:`ResourceSampler` publishing ``process.*``
+        gauges into the service registry (default True).
+    """
+
+    def __init__(
+        self, service, *, port: int = 0, sample_resources: bool = True
+    ) -> None:
+        self.service = service
+        self._httpd = ThreadingHTTPServer(
+            ("127.0.0.1", int(port)), _TelemetryHandler
+        )
+        self._httpd.daemon_threads = True
+        self._httpd.telemetry = self
+        self._sampler = None
+        if sample_resources:
+            self._sampler = ResourceSampler(registry=service.metrics).start()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-telemetry-server",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def address(self) -> tuple:
+        """``(host, port)`` actually bound."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the endpoints (``http://127.0.0.1:<port>``)."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    # -- endpoint payloads (also callable directly, e.g. in tests) ---------
+
+    def metrics_payload(self) -> tuple:
+        """``(body, status, content_type)`` of ``GET /metrics``."""
+        return (
+            render_prometheus(self.service.metrics),
+            200,
+            PROMETHEUS_CONTENT_TYPE,
+        )
+
+    def health_payload(self) -> tuple:
+        """``(body, status, content_type)`` of ``GET /healthz``.
+
+        ``ok`` while accepting; ``draining`` (503) once close() has
+        begun, so load balancers stop routing while queued requests
+        finish; ``closed`` (503) after the drain completes.
+        """
+        if not self.service.closed:
+            body, status = "ok\n", 200
+        elif self.service.draining:
+            body, status = "draining\n", 503
+        else:
+            body, status = "closed\n", 503
+        return body, status, "text/plain; charset=utf-8"
+
+    def stats_payload(self) -> tuple:
+        """``(body, status, content_type)`` of ``GET /stats``."""
+        payload = {
+            "service": self.service.stats().to_dict(),
+            "metrics": self.service.metrics.snapshot(),
+        }
+        body = json.dumps(_jsonsafe(payload), indent=2) + "\n"
+        return body, 200, "application/json"
+
+    def close(self) -> None:
+        """Stop the sampler and the HTTP thread; idempotent."""
+        if self._sampler is not None:
+            self._sampler.stop()
+            self._sampler = None
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)
+
+
+def _jsonsafe(payload):
+    """Replace non-finite floats with None for strict-JSON output."""
+    if isinstance(payload, dict):
+        return {k: _jsonsafe(v) for k, v in payload.items()}
+    if isinstance(payload, list):
+        return [_jsonsafe(v) for v in payload]
+    if isinstance(payload, float) and not math.isfinite(payload):
+        return None
+    return payload

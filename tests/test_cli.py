@@ -162,3 +162,53 @@ class TestServingCommands:
             build_parser().parse_args(
                 ["save", "--dataset", "yale", "--model", "Magic", "--out", "x"]
             )
+
+
+class TestMetricsDump:
+    def test_prometheus_dump(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "metrics",
+                "dump",
+                "--dataset",
+                "yale",
+                "--method",
+                "KernelAddSC",
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "# TYPE " in text
+        assert "repro_" in text
+        # Counters render with the Prometheus _total suffix.
+        assert "_total " in text
+
+    def test_json_dump_parses(self):
+        import json
+
+        out = io.StringIO()
+        code = main(
+            [
+                "metrics",
+                "dump",
+                "--dataset",
+                "yale",
+                "--method",
+                "KernelAddSC",
+                "--format",
+                "json",
+            ],
+            out=out,
+        )
+        assert code == 0
+        payload = json.loads(out.getvalue())
+        assert set(payload) == {"counters", "gauges", "histograms"}
+        assert payload["counters"]  # a traced fit records at least one
+
+    def test_rejects_unknown_format(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["metrics", "dump", "--dataset", "yale", "--format", "xml"]
+            )

@@ -1,0 +1,220 @@
+"""Tests for serving runtime telemetry and the HTTP endpoint thread.
+
+Covers the service-owned metrics registry (request-latency / queue-wait
+/ coalesce histograms, queue-depth gauge), the extended
+:class:`ServiceStats`, the ``telemetry=False`` opt-out, and the
+``/metrics`` / ``/healthz`` / ``/stats`` endpoints served by
+:class:`TelemetryServer` — including a real HTTP round-trip against a
+live service.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    ModelArtifact,
+    PredictionService,
+    Predictor,
+    TelemetryServer,
+)
+
+
+def _blob_artifact(n=40, n_views=2, c=3, seed=0):
+    """A small hand-built artifact over well-separated blobs."""
+    rng = np.random.default_rng(seed)
+    centers = np.arange(c)[:, None] * 8.0
+    views, labels = [], np.repeat(np.arange(c), n // c)
+    for v in range(n_views):
+        d = 3 + 2 * v
+        views.append(
+            centers[labels][:, :1] * np.ones(d)
+            + rng.normal(0, 0.3, (labels.size, d))
+        )
+    return ModelArtifact(
+        model_class="UnifiedMVSC",
+        train_views=views,
+        train_labels=labels,
+        view_weights=rng.uniform(0.5, 1.5, n_views),
+        n_clusters=c,
+    )
+
+
+def _sample(artifact, seed=1):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(8.0, 3.0, d) for d in artifact.view_dims]
+
+
+def _get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=10.0) as response:
+            return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as err:  # 4xx/5xx still carry a body
+        with err:
+            return err.code, err.read().decode("utf-8")
+
+
+class TestServiceRuntimeTelemetry:
+    def test_latency_histograms_cover_every_request(self):
+        artifact = _blob_artifact()
+        n_requests = 12
+        with PredictionService(Predictor(artifact)) as service:
+            for i in range(n_requests):
+                service.predict_one(_sample(artifact, seed=i))
+        # Asserting after close(): the drain guarantees the worker has
+        # finished recording telemetry for every request.
+        m = service.metrics
+        for name in (
+            "serving.request_seconds",
+            "serving.queue_wait_seconds",
+        ):
+            assert m.histograms[name].count == n_requests
+            assert m.histograms[name].min >= 0.0
+        # Every request rode in exactly one batch.
+        assert m.histograms["serving.batch_size"].total == n_requests
+        assert m.histograms["serving.coalesce_seconds"].count >= 1
+        assert m.counters["serving.submitted"].value == n_requests
+        assert m.counters["serving.completed"].value == n_requests
+        # e2e latency includes the queue wait, never less.
+        assert (
+            m.histograms["serving.request_seconds"].total
+            >= m.histograms["serving.queue_wait_seconds"].total
+        )
+
+    def test_queue_depth_gauge_returns_to_zero(self):
+        artifact = _blob_artifact()
+        with PredictionService(Predictor(artifact)) as service:
+            service.predict_one(_sample(artifact))
+            service.predict_one(_sample(artifact))
+        assert service.metrics.gauges["serving.queue_depth"].value == 0.0
+
+    def test_stats_snapshot_carries_queue_depth(self):
+        artifact = _blob_artifact()
+        with PredictionService(Predictor(artifact)) as service:
+            service.predict_one(_sample(artifact))
+            stats = service.stats()
+        assert stats.queue_depth == 0
+        payload = stats.to_dict()
+        assert payload["submitted"] == 1
+        assert payload["queue_depth"] == 0
+        json.dumps(payload)  # strict-JSON ready
+
+    def test_telemetry_off_records_nothing(self):
+        artifact = _blob_artifact()
+        with PredictionService(
+            Predictor(artifact), telemetry=False
+        ) as service:
+            service.predict_one(_sample(artifact))
+            assert service.metrics.histograms == {}
+            assert service.metrics.counters == {}
+            assert service.telemetry_url is None
+
+    def test_concurrent_clients_lose_no_counts(self):
+        artifact = _blob_artifact()
+        n_clients, per_client = 6, 10
+
+        with PredictionService(
+            Predictor(artifact), max_queue=n_clients * per_client
+        ) as service:
+
+            def client(worker):
+                for i in range(per_client):
+                    service.predict_one(_sample(artifact, seed=worker * 100 + i))
+
+            threads = [
+                threading.Thread(target=client, args=(w,))
+                for w in range(n_clients)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        total = n_clients * per_client
+        m = service.metrics
+        assert m.counters["serving.submitted"].value == total
+        assert m.counters["serving.completed"].value == total
+        assert m.histograms["serving.request_seconds"].count == total
+        assert m.histograms["serving.queue_wait_seconds"].count == total
+
+
+class TestTelemetryEndpoints:
+    def test_http_round_trip_metrics_healthz_stats(self):
+        artifact = _blob_artifact()
+        with PredictionService(
+            Predictor(artifact), telemetry_port=0
+        ) as service:
+            url = service.telemetry_url
+            assert url is not None and url.startswith("http://127.0.0.1:")
+            service.predict_one(_sample(artifact))
+            # The worker records telemetry just after resolving the
+            # future; wait for it before scraping.
+            deadline = time.time() + 10.0
+            hist = service.metrics.histograms["serving.request_seconds"]
+            while hist.count < 1 and time.time() < deadline:
+                time.sleep(0.01)
+
+            status, text = _get(f"{url}/metrics")
+            assert status == 200
+            assert "# TYPE repro_serving_queue_depth gauge" in text
+            assert 'repro_serving_request_seconds{quantile="0.5"}' in text
+            assert 'repro_serving_request_seconds{quantile="0.99"}' in text
+            assert "repro_serving_request_seconds_count 1" in text
+
+            status, text = _get(f"{url}/healthz")
+            assert (status, text) == (200, "ok\n")
+
+            status, text = _get(f"{url}/stats")
+            assert status == 200
+            payload = json.loads(text)
+            assert payload["service"]["completed"] == 1
+            assert (
+                payload["metrics"]["histograms"]["serving.request_seconds"][
+                    "count"
+                ]
+                == 1
+            )
+
+            status, text = _get(f"{url}/nonsense")
+            assert status == 404
+
+    def test_metrics_endpoint_includes_resource_gauges(self):
+        artifact = _blob_artifact()
+        with PredictionService(
+            Predictor(artifact), telemetry_port=0
+        ) as service:
+            status, text = _get(f"{service.telemetry_url}/metrics")
+            assert status == 200
+            assert "repro_process_rss_bytes" in text
+            assert "repro_process_cpu_seconds" in text
+
+    def test_health_payload_tracks_drain_state(self):
+        artifact = _blob_artifact()
+        service = PredictionService(Predictor(artifact))
+        server = TelemetryServer(service, port=0, sample_resources=False)
+        try:
+            body, status, _ = server.health_payload()
+            assert (body, status) == ("ok\n", 200)
+            service.close()
+            body, status, _ = server.health_payload()
+            assert status == 503
+            assert body in ("draining\n", "closed\n")
+        finally:
+            server.close()
+
+    def test_server_stops_with_service_close(self):
+        artifact = _blob_artifact()
+        service = PredictionService(Predictor(artifact), telemetry_port=0)
+        url = service.telemetry_url
+        status, _ = _get(f"{url}/healthz")
+        assert status == 200
+        service.close()
+        assert service.telemetry_url is None
+        with pytest.raises(Exception):
+            _get(f"{url}/healthz")
