@@ -18,7 +18,11 @@ Three guarantees back the serving design:
   that wrapping must stay within the library's **< 2% wall-clock
   budget** (same discipline as ``bench_robust_overhead``), measured
   against a bypassed variant with the policy/span bindings replaced by
-  raw passthroughs.
+  raw passthroughs.  That budget covers the request-tracing and
+  profiling hooks too: with no construction-time trace the service
+  skips id minting and request-span bookkeeping entirely, and a
+  dormant ``profile_span`` is one extra contextvar lookup before
+  returning the same shared no-op handle as ``span``.
 
 Both checks are plain (unmarked) tests, so a default benchmark session
 runs them as smoke.

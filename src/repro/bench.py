@@ -42,6 +42,7 @@ import numpy as np
 import scipy
 
 from repro.exceptions import ValidationError
+from repro.observability.profiling import use_profiling
 from repro.observability.resource import ResourceSampler
 from repro.observability.trace import Trace, use_trace
 
@@ -225,6 +226,7 @@ def run_benches(
     quick: bool = False,
     repeats: int = 3,
     tag: str = "local",
+    profile: bool = True,
 ) -> dict:
     """Execute tracked benches; return the schema-versioned report.
 
@@ -241,6 +243,12 @@ def run_benches(
     tag : str
         Label stored in the report (conventionally the ``<tag>`` of
         ``BENCH_<tag>.json``).
+    profile : bool
+        After the timed repetitions, run one extra *untimed* pass with
+        the :mod:`~repro.observability.profiling` hooks armed and store
+        each profiled site's top functions under the entry's
+        ``"hotspots"`` key.  The timed repetitions never run under the
+        profiler, so the headline seconds are unaffected.
 
     Each bench runs inside its own trace and resource sampler, so the
     report carries the metrics snapshot (eigensolver calls, GPI inner
@@ -273,13 +281,24 @@ def run_benches(
                     start = time.perf_counter()
                     work()
                     runs.append(time.perf_counter() - start)
-        benches[name] = {
+        entry = {
             "description": description,
             "seconds": min(runs),
             "runs": runs,
             "metrics": _jsonsafe(trace.metrics.snapshot()),
             "resources": sampler.summary(),
         }
+        if profile:
+            # Separate untimed pass under its own trace so the profiler
+            # overhead never touches the headline timings or metrics.
+            with use_trace(Trace(f"bench:{name}:profile")):
+                with use_profiling(limit=8) as session:
+                    work()
+            entry["hotspots"] = {
+                site: session.hotspots(site, top=5)
+                for site in session.sites()
+            }
+        benches[name] = entry
     return {
         "schema_version": SCHEMA_VERSION,
         "tag": tag,

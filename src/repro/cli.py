@@ -23,6 +23,14 @@ Six subcommands mirror the evaluation artifacts:
   ``/stats`` during the replay);
 * ``metrics``     — ``metrics dump`` runs one traced fit and renders
   its metrics registry via the export layer (``--format prom|json``);
+  ``--from-trace PATH`` instead renders the snapshot embedded in a
+  saved JSONL trace (missing/malformed files exit with a one-line
+  typed error, not a traceback);
+* ``trace``       — offline analytics over a JSONL trace file
+  (:mod:`repro.observability.analysis`): ``trace summary`` prints the
+  self/cumulative hotspot table, ``trace critical-path`` the longest
+  dependent span chain, ``trace export`` a Chrome trace-event JSON
+  loadable in Perfetto / ``chrome://tracing``;
 * ``bench``       — the benchmark-regression tracker
   (:mod:`repro.bench`): ``bench run`` writes a schema-versioned
   ``BENCH_<tag>.json`` (wall-clock, metrics dump, resource peaks,
@@ -49,17 +57,25 @@ Everything the CLI does is also available programmatically through
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from contextlib import ExitStack
 
 import numpy as np
 
 from repro.datasets import available_benchmarks, get_spec, load_benchmark
+from repro.exceptions import ReproError, ValidationError
 from repro.evaluation.curves import convergence_curve, sparkline
 from repro.evaluation.registry import default_method_registry
 from repro.evaluation.runner import run_experiment, run_method_once
 from repro.evaluation.tables import format_metric_table, format_rows
-from repro.observability import JsonlSink, LoggingSink, Trace, use_trace
+from repro.observability import (
+    JsonlSink,
+    LoggingSink,
+    Trace,
+    use_profiling,
+    use_trace,
+)
 from repro.pipeline import (
     ComputationCache,
     clear_disk_store,
@@ -103,7 +119,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--profile",
         action="store_true",
-        help="print a per-phase timing breakdown after the run",
+        help="print a per-phase timing breakdown after the run and arm "
+        "the cProfile hooks on designated hot spans",
     )
     _add_pipeline_args(run_p)
 
@@ -228,7 +245,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="run one traced fit and render its registry "
         "(Prometheus text or JSON)",
     )
-    dump_p.add_argument("--dataset", required=True, choices=available_benchmarks())
+    dump_p.add_argument(
+        "--dataset", default=None, choices=available_benchmarks()
+    )
     dump_p.add_argument(
         "--method",
         default="UMSC",
@@ -241,6 +260,51 @@ def build_parser() -> argparse.ArgumentParser:
         default="prom",
         choices=["prom", "json"],
         help="Prometheus text exposition format or structured JSON",
+    )
+    dump_p.add_argument(
+        "--from-trace",
+        dest="from_trace",
+        default=None,
+        metavar="PATH",
+        help="render the metrics snapshot embedded in a saved JSONL "
+        "trace instead of running a fit",
+    )
+
+    trace_p = sub.add_parser(
+        "trace", help="analyze a JSONL trace file (spans -> hotspots)"
+    )
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+    trace_sum_p = trace_sub.add_parser(
+        "summary",
+        help="per-span-name hotspot table (self and cumulative time)",
+    )
+    trace_sum_p.add_argument("path", help="JSONL trace file")
+    trace_sum_p.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        metavar="N",
+        help="show the N hottest span names (default 15)",
+    )
+    trace_cp_p = trace_sub.add_parser(
+        "critical-path",
+        help="longest dependent span chain through the trace",
+    )
+    trace_cp_p.add_argument("path", help="JSONL trace file")
+    trace_cp_p.add_argument(
+        "--root",
+        default=None,
+        metavar="NAME",
+        help="span name to root the walk at (e.g. serving.batch); "
+        "default: the longest top-level span",
+    )
+    trace_exp_p = trace_sub.add_parser(
+        "export",
+        help="write Chrome trace-event JSON (Perfetto / chrome://tracing)",
+    )
+    trace_exp_p.add_argument("path", help="JSONL trace file")
+    trace_exp_p.add_argument(
+        "--out", required=True, metavar="PATH", help="output JSON path"
     )
 
     bench_p = sub.add_parser(
@@ -262,6 +326,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_run_p.add_argument("--repeats", type=int, default=3)
     bench_run_p.add_argument("--tag", default="local")
+    bench_run_p.add_argument(
+        "--no-profile",
+        dest="profile",
+        action="store_false",
+        help="skip the extra untimed profiled pass (no per-bench "
+        "hotspots in the report)",
+    )
     bench_run_p.add_argument(
         "--out",
         default=None,
@@ -384,9 +455,12 @@ def _cmd_run(args, out) -> int:
     if args.verbose:
         sinks.append(LoggingSink(stream=sys.stderr))
     trace = Trace(f"run:{args.dataset}:{args.method}", sinks=sinks)
+    session = None
     with ExitStack() as stack:
         cache = _pipeline_context(args, stack)
         stack.enter_context(use_trace(trace))
+        if args.profile:
+            session = stack.enter_context(use_profiling())
         scores, seconds = run_method_once(
             spec, dataset, args.seed, metrics=("acc", "nmi", "purity")
         )
@@ -397,6 +471,19 @@ def _cmd_run(args, out) -> int:
     if args.profile:
         print("profile (time per phase):", file=out)
         print(_profile_table(trace, seconds), file=out)
+        if session is not None and session.sites():
+            print(
+                "profiled hot spans (top functions by cumulative time):",
+                file=out,
+            )
+            for site in session.sites():
+                print(f"  {site}:", file=out)
+                for row in session.hotspots(site, top=3):
+                    print(
+                        f"    {row['cumtime']:.4f}s {row['function']} "
+                        f"({row['calls']} calls)",
+                        file=out,
+                    )
     if args.trace:
         n_events = len(trace.events)
         print(
@@ -590,8 +677,28 @@ def _cmd_serve(args, out) -> int:
 
 
 def _cmd_metrics(args, out) -> int:
-    from repro.observability import render_json, render_prometheus
+    from repro.observability import (
+        analysis,
+        render_json,
+        render_json_snapshot,
+        render_prometheus,
+        render_prometheus_snapshot,
+    )
 
+    if args.from_trace:
+        snapshot = analysis.metrics_snapshot(
+            analysis.load_trace(args.from_trace)
+        )
+        if args.fmt == "json":
+            print(render_json_snapshot(snapshot), file=out)
+        else:
+            print(render_prometheus_snapshot(snapshot), file=out, end="")
+        return 0
+    if not args.dataset:
+        raise ValidationError(
+            "metrics dump needs --dataset (run a live traced fit) or "
+            "--from-trace PATH (render a saved trace's snapshot)"
+        )
     dataset = load_benchmark(args.dataset)
     spec = default_method_registry()[args.method]
     trace = Trace(f"metrics:{args.dataset}:{args.method}")
@@ -604,6 +711,79 @@ def _cmd_metrics(args, out) -> int:
     return 0
 
 
+def _cmd_trace(args, out) -> int:
+    from repro.observability import analysis
+
+    data = analysis.load_trace(args.path)
+    if args.trace_command == "summary":
+        all_rows = analysis.hotspot_summary(data)
+        total_self = sum(r.self_seconds for r in all_rows)
+        ids = ", ".join(i for i in data.trace_ids if i) or "(none)"
+        print(
+            f"{data.path}: {len(data.spans)} spans, "
+            f"{len(data.iterations)} iteration events, trace ids: {ids}",
+            file=out,
+        )
+        rows = []
+        for r in all_rows[: args.top]:
+            share = (
+                100.0 * r.self_seconds / total_self if total_self > 0 else 0.0
+            )
+            rows.append(
+                [
+                    r.name,
+                    r.count,
+                    f"{r.total_seconds:.4f}s",
+                    f"{r.self_seconds:.4f}s",
+                    f"{share:.1f}%",
+                    f"{1e3 * r.mean_seconds:.2f}ms",
+                ]
+            )
+        print(
+            format_rows(
+                ["span", "calls", "total", "self", "share", "mean"], rows
+            ),
+            file=out,
+        )
+        if len(all_rows) > args.top:
+            print(
+                f"(top {args.top} of {len(all_rows)} span names)", file=out
+            )
+        return 0
+    if args.trace_command == "critical-path":
+        steps = analysis.critical_path(data, root=args.root)
+        print(
+            f"critical path ({steps[0].name}): {len(steps)} steps, "
+            f"{steps[0].duration_seconds:.4f}s total",
+            file=out,
+        )
+        rows = [
+            [
+                "  " * step.depth + step.name,
+                step.span_id or "-",
+                f"{step.duration_seconds:.4f}s",
+                f"{step.self_seconds:.4f}s",
+            ]
+            for step in steps
+        ]
+        print(
+            format_rows(["step", "span", "duration", "self"], rows), file=out
+        )
+        return 0
+    if args.trace_command == "export":
+        doc = analysis.to_chrome_trace(data)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+            fh.write("\n")
+        print(
+            f"wrote {len(doc['traceEvents'])} trace events -> {args.out} "
+            f"(load in Perfetto or chrome://tracing)",
+            file=out,
+        )
+        return 0
+    raise AssertionError(f"unhandled trace command {args.trace_command!r}")
+
+
 def _cmd_bench(args, out) -> int:
     from repro import bench as bench_mod
 
@@ -614,6 +794,7 @@ def _cmd_bench(args, out) -> int:
             quick=args.quick,
             repeats=args.repeats,
             tag=args.tag,
+            profile=args.profile,
         )
         path = args.out or f"BENCH_{args.tag}.json"
         bench_mod.write_report(report, path)
@@ -697,6 +878,21 @@ def _cmd_stability(args, out) -> int:
     return 0
 
 
+def _guard_trace_errors(handler, args, out) -> int:
+    """Run a trace-file command; typed errors become one stderr line.
+
+    Only the commands whose main job is reading user-supplied trace
+    files go through this wrapper — other commands keep propagating
+    :class:`ReproError` subclasses to the caller (tests assert on the
+    types).
+    """
+    try:
+        return handler(args, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def main(argv=None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
@@ -722,7 +918,9 @@ def main(argv=None, out=None) -> int:
     if args.command == "serve":
         return _cmd_serve(args, out)
     if args.command == "metrics":
-        return _cmd_metrics(args, out)
+        return _guard_trace_errors(_cmd_metrics, args, out)
+    if args.command == "trace":
+        return _guard_trace_errors(_cmd_trace, args, out)
     if args.command == "bench":
         return _cmd_bench(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

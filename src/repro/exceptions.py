@@ -65,6 +65,18 @@ class ArtifactError(ValidationError):
     """
 
 
+class TraceFileError(ReproError):
+    """Raised when a JSONL trace file is missing, unreadable, or malformed.
+
+    The failure surface of the trace-analytics layer
+    (:mod:`repro.observability.analysis`) and of every CLI command that
+    reads a trace file (``repro trace ...``,
+    ``repro metrics dump --from-trace``): callers get one typed error
+    with the path and the reason instead of a bare ``OSError`` /
+    ``json.JSONDecodeError`` traceback.
+    """
+
+
 class ServiceOverloadedError(ReproError):
     """Raised when the prediction service's bounded queue is full.
 

@@ -21,6 +21,7 @@ import numpy as np
 from repro.exceptions import ValidationError
 from repro.graph.distance import pairwise_cosine_distances, pairwise_sq_euclidean
 from repro.graph.knn import kneighbors
+from repro.observability.profiling import profile_span
 from repro.utils.validation import check_matrix, check_square
 
 
@@ -194,25 +195,27 @@ def build_view_affinity(
     x = check_matrix(x, "x")
     n = x.shape[0]
     k_eff = max(1, min(k, n - 1))
-    if kind == "self_tuning":
-        w = self_tuning_affinity(x, k=min(7, k_eff))
-    elif kind == "gaussian":
-        w = gaussian_affinity(x, sigma=sigma)
-    elif kind == "cosine":
-        w = cosine_affinity(x)
-    elif kind == "adaptive":
-        from repro.graph.adaptive import adaptive_neighbor_affinity
+    with profile_span("knn_affinity", kind=kind, n=n, k=k_eff):
+        if kind == "self_tuning":
+            w = self_tuning_affinity(x, k=min(7, k_eff))
+        elif kind == "gaussian":
+            w = gaussian_affinity(x, sigma=sigma)
+        elif kind == "cosine":
+            w = cosine_affinity(x)
+        elif kind == "adaptive":
+            from repro.graph.adaptive import adaptive_neighbor_affinity
 
-        # The CAN graph needs a (k+1)-th neighbor to set gamma, so its
-        # valid range is [1, n - 2]; clamp the recipe's k explicitly
-        # (adaptive_neighbor_affinity itself rejects out-of-range k).
-        if n < 3:
-            raise ValidationError(
-                f"adaptive affinity needs at least 3 samples, got {n}"
-            )
-        return adaptive_neighbor_affinity(x, k=min(k_eff, n - 2))
-    else:
-        raise ValidationError(f"unknown affinity kind: {kind!r}")
-    if sparsify:
-        w = knn_sparsify(w, k_eff)
+            # The CAN graph needs a (k+1)-th neighbor to set gamma, so
+            # its valid range is [1, n - 2]; clamp the recipe's k
+            # explicitly (adaptive_neighbor_affinity itself rejects
+            # out-of-range k).
+            if n < 3:
+                raise ValidationError(
+                    f"adaptive affinity needs at least 3 samples, got {n}"
+                )
+            return adaptive_neighbor_affinity(x, k=min(k_eff, n - 2))
+        else:
+            raise ValidationError(f"unknown affinity kind: {kind!r}")
+        if sparsify:
+            w = knn_sparsify(w, k_eff)
     return w

@@ -31,7 +31,8 @@ import scipy.sparse
 import scipy.sparse.linalg
 
 from repro.exceptions import NumericalError, ValidationError
-from repro.observability.trace import metric_inc, span
+from repro.observability.profiling import profile_span
+from repro.observability.trace import metric_inc
 from repro.pipeline.cache import current_cache
 from repro.robust.faults import register_fault_site
 from repro.robust.policy import matrix_context, run_with_policy
@@ -118,7 +119,7 @@ def _lanczos(a, k: int, *, which: str) -> tuple[np.ndarray, np.ndarray]:
         shift = perturb * _shift_scale(a)
         mat = a if shift == 0.0 else a + shift * scipy.sparse.identity(n)
         metric_inc("eigsh.calls")
-        with span("eigsh", n=n, k=k, which=label, path="lanczos"):
+        with profile_span("eigsh", n=n, k=k, which=label, path="lanczos"):
             values, vectors = scipy.sparse.linalg.eigsh(mat, k=k, which=which)
         if shift != 0.0:
             values = values - shift
@@ -154,7 +155,7 @@ def _dense_extremal(
         shift = perturb * _shift_scale(sym)
         mat = sym if shift == 0.0 else sym + shift * np.eye(n)
         metric_inc("eigsh.calls")
-        with span("eigsh", n=n, k=k, which=label, path="dense"):
+        with profile_span("eigsh", n=n, k=k, which=label, path="dense"):
             values, vectors = scipy.linalg.eigh(mat, subset_by_index=subset)
         if shift != 0.0:
             values = values - shift

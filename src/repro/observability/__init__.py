@@ -19,7 +19,21 @@ per-iteration data.  This subsystem provides it in three layers:
   endpoint and ``repro metrics dump`` are built on these);
 * :mod:`repro.observability.resource` — a background RSS / CPU-time
   sampler (:class:`ResourceSampler`) attachable to fits, experiment
-  runs, benchmarks, and the serving process.
+  runs, benchmarks, and the serving process;
+* :mod:`repro.observability.analysis` — offline trace analytics over
+  the JSONL sink format: hotspot tables (self/cumulative time),
+  critical-path extraction, Chrome trace-event export (the ``repro
+  trace`` CLI commands);
+* :mod:`repro.observability.profiling` — opt-in deterministic cProfile
+  capture on designated hot spans (:func:`profile_span` /
+  :class:`use_profiling`), dormant at the cost of one contextvar
+  lookup.
+
+Spans carry correlation identity — a per-trace ``trace_id``, a
+``span_id`` / ``parent_id`` ancestry chain, wall-clock ``timestamp``
+alongside the monotonic duration, and an ambient ``request_id``
+(:class:`use_request`) that the serving layer threads from ``submit``
+through batch coalescing into prediction and recovery events.
 
 Tracing is **off by default** and observably zero-impact on results:
 with no active trace every ``span(...)`` returns a shared no-op handle,
@@ -30,6 +44,16 @@ See ``docs/observability.md`` for the span API, the event schema, sink
 configuration, and how to read a profile.
 """
 
+from repro.observability.analysis import (
+    Hotspot,
+    PathStep,
+    TraceData,
+    critical_path,
+    hotspot_summary,
+    load_trace,
+    metrics_snapshot,
+    to_chrome_trace,
+)
 from repro.observability.events import (
     FitCallback,
     FitDiagnostics,
@@ -40,7 +64,9 @@ from repro.observability.export import (
     PROMETHEUS_CONTENT_TYPE,
     prometheus_name,
     render_json,
+    render_json_snapshot,
     render_prometheus,
+    render_prometheus_snapshot,
 )
 from repro.observability.metrics import (
     Counter,
@@ -54,6 +80,12 @@ from repro.observability.resource import (
     read_cpu_seconds,
     read_rss_bytes,
 )
+from repro.observability.profiling import (
+    ProfilingSession,
+    current_profiling,
+    profile_span,
+    use_profiling,
+)
 from repro.observability.sinks import (
     JsonlSink,
     LoggingSink,
@@ -63,12 +95,15 @@ from repro.observability.sinks import (
 from repro.observability.trace import (
     SpanRecord,
     Trace,
+    current_request_id,
     current_trace,
     last_trace,
     metric_inc,
     metric_observe,
     metric_set,
+    new_id,
     span,
+    use_request,
     use_trace,
 )
 
@@ -78,28 +113,45 @@ __all__ = [
     "FitDiagnostics",
     "Gauge",
     "Histogram",
+    "Hotspot",
     "IterationEvent",
     "JsonlSink",
     "LoggingSink",
     "MetricsRegistry",
     "PROMETHEUS_CONTENT_TYPE",
+    "PathStep",
+    "ProfilingSession",
     "ResourceSample",
     "ResourceSampler",
     "SpanRecord",
     "Trace",
+    "TraceData",
     "TraceRecorder",
+    "critical_path",
+    "current_profiling",
+    "current_request_id",
     "current_trace",
     "dispatch_event",
+    "hotspot_summary",
     "last_trace",
+    "load_trace",
     "metric_inc",
     "metric_observe",
     "metric_set",
+    "metrics_snapshot",
+    "new_id",
     "prometheus_name",
+    "profile_span",
     "read_cpu_seconds",
     "read_jsonl",
     "read_rss_bytes",
     "render_json",
+    "render_json_snapshot",
     "render_prometheus",
+    "render_prometheus_snapshot",
     "span",
+    "to_chrome_trace",
+    "use_profiling",
+    "use_request",
     "use_trace",
 ]

@@ -112,7 +112,52 @@ def render_json(registry: MetricsRegistry, *, indent: int | None = 2) -> str:
     Non-finite values (an empty histogram's ``min``) are serialized as
     ``null`` so the output is strict JSON any consumer can parse.
     """
-    return json.dumps(_nan_to_none(registry.snapshot()), indent=indent)
+    return render_json_snapshot(registry.snapshot(), indent=indent)
+
+
+def render_json_snapshot(snapshot: dict, *, indent: int | None = 2) -> str:
+    """A saved registry snapshot (``MetricsRegistry.snapshot()`` shape,
+    e.g. the ``metrics`` payload of a JSONL trace's ``trace_end`` line)
+    as the same JSON document :func:`render_json` produces live."""
+    return json.dumps(_nan_to_none(snapshot), indent=indent)
+
+
+def render_prometheus_snapshot(snapshot: dict, *, prefix: str = "repro") -> str:
+    """A saved registry snapshot in Prometheus text exposition format.
+
+    The offline counterpart of :func:`render_prometheus` for snapshots
+    recovered from a trace file: counters and gauges render identically;
+    histograms render their recorded ``p50``/``p90``/``p95``/``p99``
+    levels as ``quantile`` samples (skipped when empty) plus the exact
+    ``_sum`` / ``_count`` series.  ``None`` values (non-finite floats
+    scrubbed at write time) render as ``NaN``.
+    """
+    def value_of(raw) -> str:
+        return _format_value(float("nan") if raw is None else raw)
+
+    lines: list[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        flat = prometheus_name(name, prefix=prefix) + "_total"
+        lines.append(f"# TYPE {flat} counter")
+        lines.append(f"{flat} {value_of(snapshot['counters'][name])}")
+    for name in sorted(snapshot.get("gauges", {})):
+        flat = prometheus_name(name, prefix=prefix)
+        lines.append(f"# TYPE {flat} gauge")
+        lines.append(f"{flat} {value_of(snapshot['gauges'][name])}")
+    for name in sorted(snapshot.get("histograms", {})):
+        hist = snapshot["histograms"][name]
+        flat = prometheus_name(name, prefix=prefix)
+        lines.append(f"# TYPE {flat} summary")
+        if hist.get("count"):
+            for q in SUMMARY_QUANTILES:
+                level = hist.get(f"p{100.0 * q:g}")
+                if level is not None:
+                    lines.append(
+                        f'{flat}{{quantile="{q:g}"}} {value_of(level)}'
+                    )
+        lines.append(f"{flat}_sum {value_of(hist.get('total', 0.0))}")
+        lines.append(f"{flat}_count {int(hist.get('count', 0))}")
+    return "\n".join(lines) + "\n" if lines else ""
 
 
 def _nan_to_none(payload):

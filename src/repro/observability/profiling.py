@@ -1,0 +1,236 @@
+"""Opt-in deterministic profiling hooks for designated hot spans.
+
+The trace layer answers *which phase* is slow; this module answers
+*which functions inside it*.  A handful of known-hot call sites —
+pairwise distances / kNN affinity construction, the ``eigsh``
+eigensolves, the GPI iterate loop, batched serving prediction — are
+wrapped in :func:`profile_span` instead of a bare
+:func:`~repro.observability.trace.span`.  The wrapper is dormant until a
+:class:`ProfilingSession` is activated with :class:`use_profiling`; then
+each wrapped block runs under a fresh :class:`cProfile.Profile`
+(deterministic tracing, no sampling), its top functions by cumulative
+time are attached to the span's attributes (so they travel through the
+JSONL sink), and the raw stats merge into the session for a per-site
+:meth:`ProfilingSession.hotspots` table afterwards.
+
+**Disabled cost is the design constraint**: with no active session,
+``profile_span(...)`` performs exactly one :class:`~contextvars.
+ContextVar` lookup and then delegates to ``span(...)`` — so with
+tracing *also* off it still returns the shared
+:data:`~repro.observability.trace.NOOP_SPAN` and stays inside the <3%
+telemetry budget that ``benchmarks/bench_serving_throughput.py`` gates.
+
+CPython allows one active profiler per thread, so nested
+``profile_span`` blocks (``serving.predict`` under an outer profiled
+bench body) profile only the outermost block; inner ones degrade to
+plain spans.  Sessions are not meant to be shared across threads —
+activate one per thread of interest (worker threads spawned by
+``parallel_map`` run outside the contextvar snapshot anyway).
+
+Examples
+--------
+>>> from repro.observability.profiling import profile_span, use_profiling
+>>> with use_profiling(limit=5) as session:
+...     with profile_span("hot.block"):
+...         _ = sorted(range(1000))
+>>> session.sites()
+['hot.block']
+>>> bool(session.hotspots("hot.block"))
+True
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os.path
+import pstats
+from contextvars import ContextVar
+
+from repro.exceptions import ValidationError
+from repro.observability.trace import span
+
+#: Active profiling session; ``None`` keeps every hook dormant.
+_PROFILING: ContextVar = ContextVar("repro_profiling_session", default=None)
+
+#: How many hotspot rows a session keeps per query by default.
+DEFAULT_LIMIT = 10
+
+#: How many rows :func:`profile_span` attaches to the span attributes.
+SPAN_ATTR_ROWS = 5
+
+
+def _func_label(func) -> str:
+    """A compact ``file:line:name`` label for one pstats function key."""
+    filename, lineno, name = func
+    if filename.startswith("~") or not filename:
+        return name  # builtin / C function
+    return f"{os.path.basename(filename)}:{lineno}:{name}"
+
+
+def _merge_rows(stats_objects, limit: int) -> list:
+    """Top functions by cumulative time across ``stats_objects``.
+
+    Rows are JSON-safe dicts sorted by descending ``cumtime`` with the
+    label as a deterministic tiebreak, so repeated identical runs
+    produce identically ordered tables.
+    """
+    merged: dict = {}
+    for stats in stats_objects:
+        for func, (_cc, ncalls, tottime, cumtime, _callers) in (
+            stats.stats.items()
+        ):
+            row = merged.setdefault(func, [0, 0.0, 0.0])
+            row[0] += ncalls
+            row[1] += tottime
+            row[2] += cumtime
+    rows = [
+        {
+            "function": _func_label(func),
+            "calls": int(ncalls),
+            "tottime": round(tottime, 6),
+            "cumtime": round(cumtime, 6),
+        }
+        for func, (ncalls, tottime, cumtime) in merged.items()
+    ]
+    rows.sort(key=lambda r: (-r["cumtime"], -r["tottime"], r["function"]))
+    return rows[:limit]
+
+
+class ProfilingSession:
+    """Accumulated cProfile stats, keyed by the profiled span's name.
+
+    One session typically spans one bench run or one CLI invocation;
+    every :func:`profile_span` block executed while it is active merges
+    its profile here (stats from repeated executions of the same site
+    add up, like ``pstats.Stats.add``).
+    """
+
+    def __init__(self, *, limit: int = DEFAULT_LIMIT) -> None:
+        if int(limit) < 1:
+            raise ValidationError(f"limit must be >= 1, got {limit}")
+        self.limit = int(limit)
+        self._stats: dict = {}
+        self._active = False  # one cProfile per thread; guards nesting
+
+    def record(self, name: str, profile) -> None:
+        """Merge one finished :class:`cProfile.Profile` under ``name``."""
+        existing = self._stats.get(name)
+        if existing is None:
+            self._stats[name] = pstats.Stats(profile)
+        else:
+            existing.add(profile)
+
+    def sites(self) -> list:
+        """The profiled span names seen so far (sorted)."""
+        return sorted(self._stats)
+
+    def hotspots(self, name: str | None = None, *, top: int | None = None):
+        """Top functions by cumulative seconds, as JSON-safe rows.
+
+        Parameters
+        ----------
+        name : str, optional
+            Restrict to one profiled site; default merges every site.
+        top : int, optional
+            Row cap (default: the session's ``limit``).
+        """
+        if name is not None:
+            selected = [self._stats[name]] if name in self._stats else []
+        else:
+            selected = list(self._stats.values())
+        return _merge_rows(selected, top if top is not None else self.limit)
+
+
+def current_profiling() -> ProfilingSession | None:
+    """The active session, or ``None`` when profiling is dormant."""
+    return _PROFILING.get()
+
+
+class use_profiling:
+    """Context manager activating a :class:`ProfilingSession`.
+
+    >>> with use_profiling() as session:
+    ...     current_profiling() is session
+    True
+    >>> current_profiling() is None
+    True
+    """
+
+    def __init__(
+        self,
+        session: ProfilingSession | None = None,
+        *,
+        limit: int = DEFAULT_LIMIT,
+    ) -> None:
+        self.session = (
+            session if session is not None else ProfilingSession(limit=limit)
+        )
+        self._token = None
+
+    def __enter__(self) -> ProfilingSession:
+        self._token = _PROFILING.set(self.session)
+        return self.session
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _PROFILING.reset(self._token)
+        return False
+
+
+class _ProfiledSpan:
+    """A span whose body additionally runs under cProfile.
+
+    Mirrors the span handle API (``set`` / ``link`` / context manager)
+    so call sites stay drop-in; the profile is disabled *before* the
+    inner span closes, so the span's attributes can carry the capture.
+    """
+
+    __slots__ = ("_session", "_name", "_span", "_profile")
+
+    def __init__(self, session: ProfilingSession, name: str, attributes):
+        self._session = session
+        self._name = name
+        self._span = span(name, **attributes)
+        self._profile = None
+
+    def set(self, **attributes):
+        self._span.set(**attributes)
+        return self
+
+    def link(self, *span_ids):
+        self._span.link(*span_ids)
+        return self
+
+    def __enter__(self):
+        self._span.__enter__()
+        if not self._session._active:
+            self._session._active = True
+            self._profile = cProfile.Profile()
+            self._profile.enable()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if self._profile is not None:
+            self._profile.disable()
+            self._session._active = False
+            rows = _merge_rows([pstats.Stats(self._profile)], SPAN_ATTR_ROWS)
+            self._span.set(profile=rows)
+            self._session.record(self._name, self._profile)
+            self._profile = None
+        return self._span.__exit__(exc_type, exc, tb)
+
+
+def profile_span(name: str, **attributes):
+    """A :func:`~repro.observability.trace.span` with optional cProfile.
+
+    With no active :class:`ProfilingSession` this adds exactly one
+    contextvar lookup to ``span(name, **attributes)`` — in particular,
+    with tracing also disabled it returns the shared no-op handle:
+
+    >>> from repro.observability.trace import NOOP_SPAN
+    >>> profile_span("anything") is NOOP_SPAN
+    True
+    """
+    session = _PROFILING.get()
+    if session is None:
+        return span(name, **attributes)
+    return _ProfiledSpan(session, name, attributes)

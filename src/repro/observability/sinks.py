@@ -4,8 +4,12 @@ Three sinks cover the common needs:
 
 * :class:`TraceRecorder` — in-memory capture for tests and notebooks;
 * :class:`JsonlSink` — one JSON object per line (``{"type": "span" |
-  "iteration" | "fit_start" | "fit_end", ...}``), machine-readable and
-  append-friendly; :func:`read_jsonl` is the round-trip reader;
+  "iteration" | "fit_start" | "fit_end" | "trace_end", ...}``),
+  machine-readable and append-friendly; :func:`read_jsonl` is the
+  round-trip reader.  The final ``trace_end`` line carries the trace
+  name/id, the recording pid, and the trace's metrics-registry snapshot,
+  so one file is enough for ``repro trace ...`` analytics and
+  ``repro metrics dump --from-trace``;
 * :class:`LoggingSink` — human-readable one-liners through stdlib
   ``logging`` (the CLI's ``--verbose`` wires it to stderr).
 
@@ -21,6 +25,7 @@ import json
 import logging
 
 from repro.observability.events import FitCallback, IterationEvent
+from repro.observability.export import _nan_to_none
 from repro.observability.trace import SpanRecord
 
 
@@ -85,6 +90,26 @@ class JsonlSink(FitCallback):
     def on_fit_end(self, info: dict) -> None:
         """Write ``{"type": "fit_end", ...}``."""
         self._write({"type": "fit_end", **info})
+
+    def on_trace_end(self, trace) -> None:
+        """Write the closing ``{"type": "trace_end", ...}`` metadata line.
+
+        Carries the trace name, ``trace_id``, recording ``pid``, span
+        and event counts, and the metrics-registry snapshot (non-finite
+        floats nulled for strict JSON) — everything a post-hoc reader
+        needs that is not already on the per-span lines.
+        """
+        self._write(
+            {
+                "type": "trace_end",
+                "name": trace.name,
+                "trace_id": trace.trace_id,
+                "pid": trace.pid,
+                "n_spans": len(trace.spans),
+                "n_events": len(trace.events),
+                "metrics": _nan_to_none(trace.metrics.snapshot()),
+            }
+        )
 
     def close(self) -> None:
         """Flush, and close the stream if this sink opened it."""

@@ -11,6 +11,17 @@ Spans nest: a span opened while another is running records the parent's
 name and its own depth, so a profile can distinguish the ``f_step``
 wall-time from the ``gpi`` solver time spent inside it.
 
+Every completed span additionally carries correlation identity — the
+owning trace's ``trace_id``, its own ``span_id``, the enclosing span's
+``parent_id``, and a wall-clock ``timestamp`` (epoch seconds at entry)
+alongside the ``perf_counter`` ``start``/``duration`` pair — so spans
+written by different processes or belonging to different requests can be
+joined after the fact.  A request-scoped identity travels with
+:func:`use_request`: while one is active, every completed span (and
+every :class:`~repro.robust.policy.RecoveryEvent`) is stamped with the
+``request_id``, which is how the serving layer makes one slow or
+recovered request explainable end to end.
+
 Examples
 --------
 >>> from repro.observability.trace import Trace, span, use_trace
@@ -22,13 +33,20 @@ Examples
 [('inner', 1, 'outer'), ('outer', 0, None)]
 >>> trace.spans[0].attributes
 {'k': 3}
+>>> all(s.trace_id == trace.trace_id for s in trace.spans)
+True
+>>> trace.spans[0].parent_id == trace.spans[1].span_id
+True
 >>> span("outside") is span("any other name")  # disabled: shared no-op
 True
 """
 
 from __future__ import annotations
 
+import os
+import threading
 import time
+import uuid
 from contextvars import ContextVar
 from dataclasses import dataclass, field
 
@@ -37,6 +55,15 @@ from repro.observability.metrics import MetricsRegistry
 _ACTIVE: ContextVar["Trace | None"] = ContextVar(
     "repro_active_trace", default=None
 )
+
+_REQUEST: ContextVar["str | None"] = ContextVar(
+    "repro_active_request", default=None
+)
+
+
+def new_id() -> str:
+    """A fresh 16-hex-char correlation id (trace ids, span ids, requests)."""
+    return uuid.uuid4().hex[:16]
 
 #: Most recently deactivated trace (set on :class:`use_trace` exit), so
 #: tooling like ``repro metrics dump`` can render a run's registry after
@@ -64,6 +91,27 @@ class SpanRecord:
     attributes : dict
         Free-form JSON-ready annotations (iteration index, problem
         sizes, inner-iteration counts, ...).
+    trace_id : str
+        Id of the owning :class:`Trace`; spans from different files or
+        processes join on this key.
+    span_id : str
+        This span's own id (unique within the process).
+    parent_id : str or None
+        ``span_id`` of the enclosing span, if any — the structural
+        parent link (``parent`` keeps the *name* for readability).
+    timestamp : float
+        Wall-clock epoch seconds at span entry (``time.time()``), in
+        addition to the monotonic ``start``; the key that lets traces
+        from different processes be laid on one timeline.
+    thread : int
+        ``threading.get_ident()`` of the recording thread (the Chrome
+        trace export lays spans out in one lane per thread).
+    request_id : str or None
+        The request identity active (via :func:`use_request`) when the
+        span was opened, if any.
+    links : list of str
+        ``span_id``s of causally related spans that are *not* ancestors
+        (a serving batch span links to its coalesced request spans).
     """
 
     name: str
@@ -72,9 +120,20 @@ class SpanRecord:
     depth: int = 0
     parent: str | None = None
     attributes: dict = field(default_factory=dict)
+    trace_id: str = ""
+    span_id: str = ""
+    parent_id: str | None = None
+    timestamp: float = 0.0
+    thread: int = 0
+    request_id: str | None = None
+    links: list = field(default_factory=list)
 
     def to_dict(self) -> dict:
-        """JSON-ready representation (used by the JSONL sink)."""
+        """JSON-ready representation (used by the JSONL sink).
+
+        The identity keys (``trace_id`` ... ``links``) are additive on
+        top of the original schema; existing keys are unchanged.
+        """
         return {
             "name": self.name,
             "start": self.start,
@@ -82,6 +141,13 @@ class SpanRecord:
             "depth": self.depth,
             "parent": self.parent,
             "attributes": dict(self.attributes),
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "timestamp": self.timestamp,
+            "thread": self.thread,
+            "request_id": self.request_id,
+            "links": list(self.links),
         }
 
 
@@ -92,6 +158,10 @@ class _NoopSpan:
 
     def set(self, **attributes):
         """Ignore attributes; return self for chaining."""
+        return self
+
+    def link(self, *span_ids):
+        """Ignore links; return self for chaining."""
         return self
 
     def __enter__(self):
@@ -119,13 +189,25 @@ class _LiveSpan:
         self.record.attributes.update(attributes)
         return self
 
+    def link(self, *span_ids):
+        """Link causally related (non-ancestor) spans by their ids."""
+        self.record.links.extend(span_ids)
+        return self
+
     def __enter__(self):
         stack = self._trace._stack
-        self.record.depth = len(stack)
+        record = self.record
+        record.depth = len(stack)
         if stack:
-            self.record.parent = stack[-1].name
-        stack.append(self.record)
-        self.record.start = time.perf_counter()
+            record.parent = stack[-1].name
+            record.parent_id = stack[-1].span_id
+        record.trace_id = self._trace.trace_id
+        record.span_id = new_id()
+        record.thread = threading.get_ident()
+        record.request_id = _REQUEST.get()
+        stack.append(record)
+        record.timestamp = time.time()
+        record.start = time.perf_counter()
         return self
 
     def __exit__(self, *exc):
@@ -155,6 +237,8 @@ class Trace:
         self.spans: list[SpanRecord] = []
         self.events: list = []
         self.metrics = MetricsRegistry()
+        self.trace_id = new_id()
+        self.pid = os.getpid()
         self._stack: list[SpanRecord] = []
 
     def _finish(self, record: SpanRecord) -> None:
@@ -163,6 +247,22 @@ class Trace:
             on_span = getattr(sink, "on_span", None)
             if on_span is not None:
                 on_span(record)
+
+    def record(self, record: SpanRecord) -> SpanRecord:
+        """Adopt an externally timed :class:`SpanRecord`.
+
+        For regions that cannot be bracketed by a stack-scoped
+        :func:`span` — a serving request whose lifetime starts in a
+        client thread and ends when the worker resolves its future.
+        Missing identity fields (``trace_id``, ``span_id``) are filled
+        in; the completed record streams to the sinks like any other.
+        """
+        if not record.trace_id:
+            record.trace_id = self.trace_id
+        if not record.span_id:
+            record.span_id = new_id()
+        self._finish(record)
+        return record
 
     def emit(self, event) -> None:
         """Record one iteration event and forward it to every sink."""
@@ -190,7 +290,17 @@ class Trace:
         return {name: total for name, (_, total) in self.phase_stats().items()}
 
     def close(self) -> None:
-        """Flush and close every sink that supports ``close()``."""
+        """Announce the trace end, then flush/close every sink.
+
+        Sinks implementing ``on_trace_end(trace)`` get the whole trace
+        before ``close()`` — the JSONL sink uses this to append the
+        trace metadata and final metrics snapshot so a trace file is
+        self-describing (see ``repro metrics dump --from-trace``).
+        """
+        for sink in self.sinks:
+            on_trace_end = getattr(sink, "on_trace_end", None)
+            if on_trace_end is not None:
+                on_trace_end(self)
         for sink in self.sinks:
             close = getattr(sink, "close", None)
             if close is not None:
@@ -278,4 +388,42 @@ class use_trace:
         _ACTIVE.reset(self._token)
         _LAST = self.trace
         self.trace.close()
+        return False
+
+
+def current_request_id() -> str | None:
+    """The request identity active in this context, or ``None``."""
+    return _REQUEST.get()
+
+
+class use_request:
+    """Context manager stamping a request identity on the enclosed work.
+
+    While active, every completed span and every
+    :class:`~repro.robust.policy.RecoveryEvent` records ``request_id``,
+    so work done on behalf of one request (or one coalesced batch of
+    requests — pass a comma-joined id list) stays attributable after the
+    fact.  Independent of :func:`use_trace`: with tracing disabled this
+    costs one contextvar set/reset and changes nothing else.
+
+    Examples
+    --------
+    >>> from repro.observability.trace import current_request_id, use_request
+    >>> with use_request("req-1"):
+    ...     current_request_id()
+    'req-1'
+    >>> current_request_id() is None
+    True
+    """
+
+    def __init__(self, request_id: str) -> None:
+        self.request_id = request_id
+        self._token = None
+
+    def __enter__(self) -> str:
+        self._token = _REQUEST.set(self.request_id)
+        return self.request_id
+
+    def __exit__(self, *exc) -> bool:
+        _REQUEST.reset(self._token)
         return False

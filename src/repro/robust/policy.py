@@ -44,7 +44,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from contextvars import ContextVar
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 import scipy.sparse
@@ -54,7 +54,7 @@ from repro.exceptions import (
     RecoveryExhaustedError,
     ReproError,
 )
-from repro.observability.trace import metric_inc
+from repro.observability.trace import current_request_id, metric_inc
 from repro.robust.faults import maybe_inject
 
 #: Failures the policy treats as recoverable numerical trouble.  Notably
@@ -159,6 +159,11 @@ class RecoveryEvent:
         Strategy-specific annotation (fallback name, ...).
     succeeded : bool
         Whether the action produced a usable result.
+    request_id : str
+        The request identity (:func:`~repro.observability.trace.
+        use_request`) active when the recovery fired, if any — a
+        coalesced serving batch carries its comma-joined request ids, so
+        a recovered request stays explainable end to end.
     """
 
     site: str
@@ -167,6 +172,7 @@ class RecoveryEvent:
     error: str
     detail: str = ""
     succeeded: bool = True
+    request_id: str = ""
 
     def to_dict(self) -> dict:
         """JSON-ready representation (mirrors the event/sink schema)."""
@@ -177,6 +183,7 @@ class RecoveryEvent:
             "error": self.error,
             "detail": self.detail,
             "succeeded": self.succeeded,
+            "request_id": self.request_id,
         }
 
 
@@ -225,7 +232,14 @@ def record_recovery(event: RecoveryEvent) -> None:
 
     No-op log-wise when no :class:`collect_recoveries` is active; the
     ``recovery.<strategy>`` counter still reaches the active trace.
+    Events without an explicit ``request_id`` inherit the ambient
+    request identity (:func:`~repro.observability.trace.use_request`),
+    so serving-path recoveries stay joined to their requests.
     """
+    if not event.request_id:
+        ambient = current_request_id()
+        if ambient:
+            event = replace(event, request_id=ambient)
     metric_inc(f"recovery.{event.strategy}")
     log = _RECOVERY_LOG.get()
     if log is not None:

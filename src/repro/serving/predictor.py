@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.exceptions import ClampWarning, ValidationError
 from repro.graph.distance import pairwise_sq_euclidean
+from repro.observability.profiling import profile_span
 from repro.observability.trace import metric_inc, metric_observe, span
 from repro.pipeline.parallel import parallel_map
 from repro.robust.faults import register_fault_site
@@ -255,7 +256,7 @@ class Predictor:
             )
         batch_size = int(batch_size)
         tick = time.perf_counter()
-        with span(
+        with profile_span(
             "serving.predict", n_samples=m, batch_size=batch_size
         ), failure_guard(_SITE_PREDICT):
             chunks = []

@@ -25,7 +25,13 @@ Operational properties:
   counters flow to the trace active when the service was *constructed*
   (the worker runs in a snapshot of the construction-time context, so
   traces, caches, failure policies, and armed fault plans all apply to
-  the batched predicts).
+  the batched predicts).  Under that construction-time trace the service
+  is additionally *request-correlated*: every ``submit`` gets a
+  ``request_id`` and a ``serving.request`` span covering
+  submit→resolution, each ``serving.batch`` span links to the
+  ``span_id``s of the requests it coalesced, and recovery events fired
+  during the batched predict carry the joined request ids — one
+  ``trace_id`` joins a request's whole path end to end.
 * **Runtime telemetry** — independent of any trace, the service owns a
   :class:`~repro.observability.metrics.MetricsRegistry` (``.metrics``)
   recording per-request queue-wait, coalesce, and end-to-end latency
@@ -62,6 +68,7 @@ import queue
 import threading
 import time
 from concurrent.futures import Future
+from contextlib import ExitStack
 from dataclasses import dataclass
 
 import numpy as np
@@ -72,7 +79,15 @@ from repro.exceptions import (
     ValidationError,
 )
 from repro.observability.metrics import MetricsRegistry
-from repro.observability.trace import metric_inc, metric_observe, span
+from repro.observability.trace import (
+    SpanRecord,
+    current_trace,
+    metric_inc,
+    metric_observe,
+    new_id,
+    span,
+    use_request,
+)
 from repro.serving.predictor import Predictor
 
 #: Sentinel enqueued by :meth:`PredictionService.close` to wake the worker.
@@ -96,6 +111,14 @@ class ServiceStats:
         Batched predict calls issued.
     max_batch_size : int
         Largest coalesced batch so far.
+    uptime_seconds : float
+        Seconds since the service was constructed (monotonic clock).
+    latency_p50 / latency_p95 / latency_p99 : float or None
+        End-to-end request-latency percentiles in seconds, from the
+        ``serving.request_seconds`` histogram (exact below the
+        histogram's reservoir cap — the same percentile view
+        ``/metrics`` exposes); ``None`` with telemetry off or before
+        the first completed request.
     """
 
     submitted: int
@@ -104,6 +127,10 @@ class ServiceStats:
     batches: int
     max_batch_size: int
     queue_depth: int = 0
+    uptime_seconds: float = 0.0
+    latency_p50: float | None = None
+    latency_p95: float | None = None
+    latency_p99: float | None = None
 
     @property
     def mean_batch_size(self) -> float:
@@ -111,7 +138,11 @@ class ServiceStats:
         return self.completed / self.batches if self.batches else float("nan")
 
     def to_dict(self) -> dict:
-        """JSON-ready representation (served by the ``/stats`` endpoint)."""
+        """JSON-ready representation (served by the ``/stats`` endpoint).
+
+        The ``uptime_seconds`` and ``latency_p*`` keys are additive on
+        top of the original schema; existing keys are unchanged.
+        """
         mean = self.mean_batch_size
         return {
             "submitted": self.submitted,
@@ -121,19 +152,38 @@ class ServiceStats:
             "max_batch_size": self.max_batch_size,
             "queue_depth": self.queue_depth,
             "mean_batch_size": None if self.batches == 0 else mean,
+            "uptime_seconds": self.uptime_seconds,
+            "latency_p50": self.latency_p50,
+            "latency_p95": self.latency_p95,
+            "latency_p99": self.latency_p99,
         }
 
 
 class _Request:
     """One enqueued sample: its per-view rows and the result future."""
 
-    __slots__ = ("rows", "future", "submitted_at", "dequeued_at")
+    __slots__ = (
+        "rows",
+        "future",
+        "submitted_at",
+        "dequeued_at",
+        "request_id",
+        "span_id",
+        "submitted_wall",
+        "thread",
+    )
 
     def __init__(self, rows: list) -> None:
         self.rows = rows
         self.future: Future = Future()
         self.submitted_at = 0.0
         self.dequeued_at = 0.0
+        # Trace identity, populated by submit() only when the service
+        # was constructed under an active trace.
+        self.request_id: str | None = None
+        self.span_id: str | None = None
+        self.submitted_wall = 0.0
+        self.thread = 0
 
 
 class PredictionService:
@@ -208,6 +258,11 @@ class PredictionService:
         self._batches = 0
         self._max_batch_seen = 0
         self._telemetry = bool(telemetry)
+        # Request-correlated tracing binds to the trace active at
+        # construction (same snapshot the worker thread runs in); with
+        # no trace the whole request-span bookkeeping is skipped.
+        self._trace = current_trace()
+        self._started = time.perf_counter()
         self.metrics = MetricsRegistry()
         if self._telemetry:
             # Pre-register the runtime families so a scrape sees them
@@ -238,7 +293,7 @@ class PredictionService:
 
     # -- client side -------------------------------------------------------
 
-    def submit(self, sample_views) -> Future:
+    def submit(self, sample_views, *, request_id: str | None = None) -> Future:
         """Enqueue one sample; returns the future of its label.
 
         Parameters
@@ -246,6 +301,12 @@ class PredictionService:
         sample_views : sequence of ndarray
             One array per view, shape ``(d_v,)`` or ``(1, d_v)``, in the
             model's view order.
+        request_id : str, optional
+            Correlation id recorded on the request's trace span (and on
+            any recovery events its batch fires).  Defaults to a fresh
+            id; only meaningful when the service was constructed under
+            an active trace (otherwise ignored — the disabled path does
+            no id bookkeeping).
 
         Returns
         -------
@@ -262,7 +323,12 @@ class PredictionService:
         """
         rows = self._check_sample(sample_views)
         request = _Request(rows)
-        if self._telemetry:
+        if self._trace is not None:
+            request.request_id = request_id or new_id()
+            request.span_id = new_id()
+            request.submitted_wall = time.time()
+            request.thread = threading.get_ident()
+        if self._telemetry or self._trace is not None:
             request.submitted_at = time.perf_counter()
         with self._lock:
             if self._closed:
@@ -294,6 +360,13 @@ class PredictionService:
 
     def stats(self) -> ServiceStats:
         """Current :class:`ServiceStats` snapshot."""
+        p50 = p95 = p99 = None
+        if self._telemetry:
+            hist = self.metrics.histograms.get("serving.request_seconds")
+            if hist is not None and hist.count:
+                p50 = hist.percentile(50)
+                p95 = hist.percentile(95)
+                p99 = hist.percentile(99)
         with self._lock:
             return ServiceStats(
                 submitted=self._submitted,
@@ -302,6 +375,10 @@ class PredictionService:
                 batches=self._batches,
                 max_batch_size=self._max_batch_seen,
                 queue_depth=self._queue.qsize(),
+                uptime_seconds=time.perf_counter() - self._started,
+                latency_p50=p50,
+                latency_p95=p95,
+                latency_p99=p99,
             )
 
     @property
@@ -390,7 +467,7 @@ class PredictionService:
             item = self._queue.get()
             if item is _STOP:
                 return
-            if self._telemetry:
+            if self._telemetry or self._trace is not None:
                 item.dequeued_at = time.perf_counter()
             batch = [item]
             deadline = time.perf_counter() + self.max_latency
@@ -413,7 +490,7 @@ class PredictionService:
                 if nxt is _STOP:
                     stop_after = True
                     break
-                if self._telemetry:
+                if self._telemetry or self._trace is not None:
                     nxt.dequeued_at = time.perf_counter()
                 batch.append(nxt)
             self._run_batch(batch)
@@ -422,8 +499,21 @@ class PredictionService:
 
     def _run_batch(self, batch: list) -> None:
         """One batched predict; resolve every request's future."""
+        traced = self._trace is not None
+        batch_failed = False
         tick = time.perf_counter()
-        with span("serving.batch", batch_size=len(batch)):
+        with ExitStack() as stack:
+            batch_span = stack.enter_context(
+                span("serving.batch", batch_size=len(batch))
+            )
+            if traced:
+                # Link the coalesced batch to its constituent request
+                # spans, and let everything under the predict — nested
+                # spans, recovery events — carry the joined request ids.
+                request_ids = [r.request_id for r in batch]
+                batch_span.set(request_ids=list(request_ids))
+                batch_span.link(*[r.span_id for r in batch])
+                stack.enter_context(use_request(",".join(request_ids)))
             try:
                 views = [
                     np.concatenate([r.rows[v] for r in batch])
@@ -431,6 +521,7 @@ class PredictionService:
                 ]
                 labels = self.predictor.predict(views)
             except BaseException as exc:
+                batch_failed = True
                 for request in batch:
                     request.future.set_exception(exc)
             else:
@@ -441,6 +532,34 @@ class PredictionService:
             self._batches += 1
             self._max_batch_seen = max(self._max_batch_seen, len(batch))
         done = time.perf_counter()
+        if traced:
+            # One submit-to-resolution span per request, linked to the
+            # batch that carried it; recorded directly on the trace
+            # because its lifetime crosses the client/worker threads.
+            batch_record = getattr(batch_span, "record", None)
+            batch_span_id = (
+                batch_record.span_id if batch_record is not None else ""
+            )
+            for request in batch:
+                self._trace.record(
+                    SpanRecord(
+                        name="serving.request",
+                        start=request.submitted_at,
+                        duration=done - request.submitted_at,
+                        timestamp=request.submitted_wall,
+                        span_id=request.span_id,
+                        request_id=request.request_id,
+                        thread=request.thread,
+                        links=[batch_span_id] if batch_span_id else [],
+                        attributes={
+                            "queue_wait_seconds": (
+                                request.dequeued_at - request.submitted_at
+                            ),
+                            "batch_size": len(batch),
+                            "failed": batch_failed,
+                        },
+                    )
+                )
         metric_observe("serving.batch_size", len(batch))
         metric_observe("serving.batch_seconds", done - tick)
         if self._telemetry:

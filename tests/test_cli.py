@@ -212,3 +212,76 @@ class TestMetricsDump:
             build_parser().parse_args(
                 ["metrics", "dump", "--dataset", "yale", "--format", "xml"]
             )
+
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        code = main(
+            ["run", "--dataset", "yale", "--method", "KernelAddSC",
+             "--trace", str(path)],
+            out=io.StringIO(),
+        )
+        assert code == 0
+        return path
+
+    def test_from_trace_renders_saved_snapshot(self, trace_file):
+        import json
+
+        out = io.StringIO()
+        code = main(
+            ["metrics", "dump", "--from-trace", str(trace_file),
+             "--format", "json"],
+            out=out,
+        )
+        assert code == 0
+        payload = json.loads(out.getvalue())
+        assert set(payload) == {"counters", "gauges", "histograms"}
+        assert payload["counters"]["eigsh.calls"] >= 1
+        out = io.StringIO()
+        assert (
+            main(["metrics", "dump", "--from-trace", str(trace_file)], out=out)
+            == 0
+        )
+        assert "repro_eigsh_calls_total" in out.getvalue()
+
+    def test_from_trace_missing_file_exits_cleanly(self, tmp_path, capsys):
+        out = io.StringIO()
+        code = main(
+            ["metrics", "dump", "--from-trace", str(tmp_path / "no.jsonl")],
+            out=out,
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot read trace file")
+        assert "Traceback" not in err
+
+    def test_from_trace_malformed_file_exits_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json at all\n")
+        out = io.StringIO()
+        code = main(["metrics", "dump", "--from-trace", str(path)], out=out)
+        assert code == 2
+        assert "is not valid JSON" in capsys.readouterr().err
+
+    def test_dump_needs_a_source(self, capsys):
+        out = io.StringIO()
+        code = main(["metrics", "dump"], out=out)
+        assert code == 2
+        assert "needs --dataset" in capsys.readouterr().err
+
+    def test_trace_commands_read_a_run_trace(self, trace_file, tmp_path):
+        import json
+
+        out = io.StringIO()
+        assert main(["trace", "summary", str(trace_file)], out=out) == 0
+        assert "eigsh" in out.getvalue()
+        dest = tmp_path / "chrome.json"
+        out = io.StringIO()
+        assert (
+            main(
+                ["trace", "export", str(trace_file), "--out", str(dest)],
+                out=out,
+            )
+            == 0
+        )
+        assert json.loads(dest.read_text())["traceEvents"]

@@ -415,3 +415,27 @@ class TestAcceptance:
                 with pytest.raises(RecoveryExhaustedError) as excinfo:
                     sorted_eigh(_sym(6, seed=11))
         assert excinfo.value.attempts == 1
+
+
+class TestRecoveryRequestIdentity:
+    def test_recovery_events_inherit_ambient_request_id(self):
+        from repro.observability import use_request
+        from repro.robust.policy import (
+            RecoveryEvent,
+            collect_recoveries,
+            record_recovery,
+        )
+
+        with collect_recoveries() as events:
+            with use_request("req-9"):
+                record_recovery(RecoveryEvent("demo.site", "retry", 1, "boom"))
+            record_recovery(RecoveryEvent("demo.site", "retry", 2, "boom"))
+            record_recovery(
+                RecoveryEvent(
+                    "demo.site", "retry", 3, "boom", request_id="explicit"
+                )
+            )
+        assert events[0].request_id == "req-9"
+        assert events[1].request_id == ""
+        assert events[2].request_id == "explicit"  # explicit wins
+        assert events[0].to_dict()["request_id"] == "req-9"

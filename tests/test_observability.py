@@ -20,9 +20,13 @@ from repro.observability import (
     LoggingSink,
     Trace,
     TraceRecorder,
+    current_request_id,
     current_trace,
+    last_trace,
+    profile_span,
     read_jsonl,
     span,
+    use_request,
     use_trace,
 )
 from repro.observability.trace import NOOP_SPAN, metric_inc, metric_observe
@@ -80,6 +84,12 @@ class TestDisabledMode:
         with span("nested") as sp:
             assert sp.set(x=1) is sp
 
+    def test_profile_span_shares_the_same_noop(self):
+        # The profiling wrapper must not add a second dormant object:
+        # with no session and no trace it is the identical singleton.
+        assert profile_span("anything") is NOOP_SPAN
+        assert profile_span("other", k=1) is span("other", k=1)
+
     def test_metrics_helpers_are_noops(self):
         metric_inc("some.counter")
         metric_observe("some.hist", 3.0)  # nothing raised, nothing recorded
@@ -124,12 +134,19 @@ class TestJsonlSink:
             trace.emit(event)
         records = read_jsonl(path)
         kinds = {r["type"] for r in records}
-        assert kinds == {"span", "iteration"}
+        assert kinds == {"span", "iteration", "trace_end"}
         span_rec = next(r for r in records if r["type"] == "span")
         assert span_rec["name"] == "phase"
         assert span_rec["attributes"] == {"k": 2}
         iter_rec = next(r for r in records if r["type"] == "iteration")
         assert IterationEvent.from_dict(iter_rec) == event
+        # The closing trace_end line makes the file self-describing.
+        tail = records[-1]
+        assert tail["type"] == "trace_end"
+        assert tail["trace_id"] == trace.trace_id
+        assert tail["n_spans"] == 1 and tail["n_events"] == 1
+        assert span_rec["trace_id"] == trace.trace_id
+        assert set(tail["metrics"]) == {"counters", "gauges", "histograms"}
 
     def test_stream_destination_left_open(self):
         stream = io.StringIO()
@@ -426,3 +443,50 @@ class TestCLI:
             run_method_once(spec, ds, 3, metrics=("acc",))
         assert len(iterations) == len(recorder.events)
         assert len(iterations) >= 1
+
+
+class TestSpanIdentity:
+    def test_last_trace_round_trips_identity_fields(self, tmp_path):
+        path = tmp_path / "id.jsonl"
+        with use_trace(Trace("ids", sinks=[JsonlSink(path)])):
+            with span("outer"):
+                with span("inner"):
+                    pass
+        trace = last_trace()
+        by_name = {s.name: s for s in trace.spans}
+        outer, inner = by_name["outer"], by_name["inner"]
+        # Every span carries the full correlation identity.
+        for s in (outer, inner):
+            assert s.trace_id == trace.trace_id
+            assert len(s.span_id) == 16
+            assert s.timestamp > 1e9  # wall clock, not perf_counter
+            assert s.thread
+            assert s.request_id is None
+            assert s.links == []
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert outer.span_id != inner.span_id
+        # The JSONL sink round-trips the same fields verbatim.
+        records = {
+            r["name"]: r for r in read_jsonl(path) if r["type"] == "span"
+        }
+        for s in (outer, inner):
+            rec = records[s.name]
+            assert rec["trace_id"] == s.trace_id
+            assert rec["span_id"] == s.span_id
+            assert rec.get("parent_id") == s.parent_id
+            assert rec["timestamp"] == pytest.approx(s.timestamp)
+
+    def test_use_request_stamps_spans_within_scope(self):
+        assert current_request_id() is None
+        with use_trace(Trace("t")) as trace:
+            with use_request("req-1"):
+                assert current_request_id() == "req-1"
+                with span("inside"):
+                    pass
+            with span("outside"):
+                pass
+        assert current_request_id() is None
+        by_name = {s.name: s for s in trace.spans}
+        assert by_name["inside"].request_id == "req-1"
+        assert by_name["outside"].request_id is None

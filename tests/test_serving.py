@@ -557,3 +557,88 @@ class TestPredictionService:
         assert trace.metrics.counters["serving.submitted"].value == 1
         assert "serving.batch_size" in trace.metrics.histograms
         assert "serving.queue_depth" in trace.metrics.histograms
+
+
+class TestRequestTracing:
+    def test_request_spans_share_one_trace_id(self):
+        art = _blob_artifact()
+        trace = Trace("serve")
+        sample = [q[0] for q in _queries(art, m=1)]
+        with use_trace(trace):
+            with PredictionService(
+                Predictor(art), max_latency_ms=0.0
+            ) as service:
+                assert isinstance(service.predict_one(sample), int)
+        by_name = {s.name: s for s in trace.spans}
+        assert {
+            "serving.request", "serving.batch", "serving.predict",
+        } <= set(by_name)
+        assert all(s.trace_id == trace.trace_id for s in trace.spans)
+        request = by_name["serving.request"]
+        batch = by_name["serving.batch"]
+        predict = by_name["serving.predict"]
+        # The batch span and its coalesced request span link each other.
+        assert request.span_id in batch.links
+        assert batch.span_id in request.links
+        # Work done on behalf of the batch carries the request identity.
+        assert request.request_id
+        assert predict.request_id == request.request_id
+        assert batch.attributes["request_ids"] == [request.request_id]
+        # The request span is externally timed but fully populated.
+        assert request.duration > 0.0
+        assert request.timestamp > 1e9  # epoch seconds, not perf_counter
+        assert request.attributes["queue_wait_seconds"] >= 0.0
+        assert request.attributes["batch_size"] == 1
+        assert request.attributes["failed"] is False
+
+    def test_explicit_request_id_is_honored(self):
+        art = _blob_artifact()
+        trace = Trace("serve")
+        sample = [q[0] for q in _queries(art, m=1)]
+        with use_trace(trace):
+            with PredictionService(Predictor(art)) as service:
+                future = service.submit(sample, request_id="req-explicit")
+                assert isinstance(future.result(timeout=10.0), int)
+        request = next(
+            s for s in trace.spans if s.name == "serving.request"
+        )
+        assert request.request_id == "req-explicit"
+
+    def test_coalesced_batch_links_every_request_span(self):
+        art = _blob_artifact()
+        predictor = _GatedPredictor(art)
+        sample = [q[0] for q in _queries(art, m=1)]
+        trace = Trace("coalesce")
+        with use_trace(trace):
+            service = PredictionService(
+                predictor, max_batch=8, max_latency_ms=0.0
+            )
+        futures = [service.submit(sample) for _ in range(5)]
+        assert predictor.started.wait(timeout=10.0)
+        predictor.gate.set()
+        service.close()
+        for future in futures:
+            future.result(timeout=10.0)
+        requests = [s for s in trace.spans if s.name == "serving.request"]
+        batches = [s for s in trace.spans if s.name == "serving.batch"]
+        assert len(requests) == 5
+        # While the gate held the worker, later submissions coalesced.
+        assert max(len(b.links) for b in batches) >= 2
+        # Links are a bijection: every request span rides exactly one
+        # batch, and the batches together cover all of them.
+        assert {sid for b in batches for sid in b.links} == {
+            r.span_id for r in requests
+        }
+        by_id = {b.span_id: b for b in batches}
+        for r in requests:
+            assert len(r.links) == 1 and r.links[0] in by_id
+            assert r.request_id in by_id[r.links[0]].attributes["request_ids"]
+
+    def test_untraced_service_records_no_identity(self):
+        art = _blob_artifact()
+        sample = [q[0] for q in _queries(art, m=1)]
+        with PredictionService(Predictor(art)) as service:
+            assert isinstance(service.predict_one(sample), int)
+        # No construction-time trace: the id bookkeeping is skipped
+        # entirely (the disabled path stays one attribute check).
+        assert service._trace is None

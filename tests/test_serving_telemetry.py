@@ -218,3 +218,42 @@ class TestTelemetryEndpoints:
         assert service.telemetry_url is None
         with pytest.raises(Exception):
             _get(f"{url}/healthz")
+
+
+class TestServiceStatsLatency:
+    def test_stats_carry_uptime_and_latency_percentiles(self):
+        import json
+
+        artifact = _blob_artifact()
+        with PredictionService(
+            Predictor(artifact), max_latency_ms=0.0
+        ) as service:
+            for _ in range(8):
+                service.predict_one(_sample(artifact))
+            stats = service.stats()
+            hist = service.metrics.histograms["serving.request_seconds"]
+            assert stats.uptime_seconds > 0.0
+            assert stats.latency_p50 == hist.percentile(50)
+            assert stats.latency_p95 == hist.percentile(95)
+            assert stats.latency_p99 == hist.percentile(99)
+            assert 0.0 < stats.latency_p50 <= stats.latency_p95
+            assert stats.latency_p95 <= stats.latency_p99
+            payload = stats.to_dict()
+            assert {
+                "uptime_seconds", "latency_p50", "latency_p95", "latency_p99",
+            } <= set(payload)
+            json.dumps(payload)  # the /stats endpoint serializes this
+
+    def test_latency_percentiles_none_before_traffic_and_when_off(self):
+        artifact = _blob_artifact()
+        with PredictionService(Predictor(artifact)) as service:
+            stats = service.stats()
+            assert stats.latency_p50 is None
+            assert stats.latency_p99 is None
+        with PredictionService(
+            Predictor(artifact), telemetry=False
+        ) as service:
+            service.predict_one(_sample(artifact))
+            stats = service.stats()
+            assert stats.latency_p50 is None
+            assert stats.uptime_seconds > 0.0
