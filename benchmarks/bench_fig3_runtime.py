@@ -88,6 +88,36 @@ def test_benchmark_umsc_medium(benchmark):
     assert result.labels.shape == (300,)
 
 
+def test_backend_smoke_float32_vs_numpy(capsys):
+    """Fast, unmarked smoke check of the float32 backend on a real fit.
+
+    Same fit under both backends on the smallest sweep size: the
+    clusterings must agree exactly (ARI 1.0 — the float32 contract on
+    well-separated data), and the measured speed ratio is printed for
+    eyeballing.  No timing assertion: the ratio is hardware-dependent
+    and ``repro bench compare`` is the gating tool.
+    """
+    from repro.metrics import evaluate_clustering
+
+    ds = _dataset(SIZES[0])
+    start = time.perf_counter()
+    ref = UnifiedMVSC(ds.n_clusters, random_state=0).fit(ds.views).labels
+    ref_s = time.perf_counter() - start
+    start = time.perf_counter()
+    alt = (
+        UnifiedMVSC(ds.n_clusters, random_state=0, backend="float32")
+        .fit(ds.views)
+        .labels
+    )
+    alt_s = time.perf_counter() - start
+    with capsys.disabled():
+        print(
+            f"\n=== backend smoke: numpy {ref_s:.2f}s, float32 {alt_s:.2f}s "
+            f"({ref_s / max(alt_s, 1e-9):.2f}x) ==="
+        )
+    assert evaluate_clustering(ref, alt, metrics=("ari",))["ari"] == 1.0
+
+
 def test_cache_smoke_warm_vs_cold(capsys):
     """Fast, unmarked smoke check of the computation cache on a real fit.
 

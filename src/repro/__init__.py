@@ -17,6 +17,13 @@ Quickstart
 >>> labels = result.labels  # final clustering, read directly off Y
 """
 
+from repro.backends import (
+    ArrayBackend,
+    available_backends,
+    current_backend,
+    get_backend,
+    use_backend,
+)
 from repro.core.anchor_model import AnchorMVSC
 from repro.core.incomplete import IncompleteMVSC
 from repro.core.model import UnifiedMVSC
@@ -114,6 +121,11 @@ __all__ = [
     "current_cache",
     "use_cache",
     "use_jobs",
+    "ArrayBackend",
+    "available_backends",
+    "current_backend",
+    "get_backend",
+    "use_backend",
     "FailurePolicy",
     "FaultSpec",
     "RecoveryEvent",

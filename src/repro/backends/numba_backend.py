@@ -1,0 +1,137 @@
+"""Optional numba backend: JIT-compiled affinity and vote kernels.
+
+Import-guarded — :mod:`numba` is an optional dependency and this module
+imports cleanly without it.  When numba is absent the backend silently
+degrades to the reference numpy kernels (``available`` is False and the
+cache token collapses to numpy's, because the numerics are then
+bit-identical).  When numba is present, the elementwise affinity maps
+and the scatter-add kernel vote run as parallel JIT kernels; the
+BLAS-bound distance products and LAPACK eigensolvers are left to numpy/
+scipy, which numba cannot beat.
+
+Install with ``pip install numba`` to activate; nothing else changes —
+``use_backend("numba")`` works either way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import ArrayBackend
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+except ImportError:  # pragma: no cover - the common case in CI
+    _numba = None
+
+
+if _numba is not None:  # pragma: no cover - compiled only with numba present
+
+    @_numba.njit(parallel=True, cache=True)
+    def _nb_self_tuning(d2, sigma):
+        """exp(-d2_ij / (sigma_i sigma_j)) with a parallel outer loop."""
+        n, m = d2.shape
+        out = np.empty_like(d2)
+        for i in _numba.prange(n):
+            si = sigma[i]
+            for j in range(m):
+                out[i, j] = np.exp(-d2[i, j] / (si * sigma[j]))
+        return out
+
+    @_numba.njit(parallel=True, cache=True)
+    def _nb_gaussian(d2, denom):
+        """exp(-d2 / denom) elementwise, parallel over rows."""
+        n, m = d2.shape
+        out = np.empty_like(d2)
+        for i in _numba.prange(n):
+            for j in range(m):
+                out[i, j] = np.exp(-d2[i, j] / denom)
+        return out
+
+    @_numba.njit(cache=True)
+    def _nb_vote(local, idx, labels, n_clusters):
+        """Serial scatter-add vote accumulation (race-free by design)."""
+        n_queries, k = local.shape
+        scores = np.zeros((n_queries, n_clusters))
+        for i in range(n_queries):
+            row_max = local[i, 0]
+            for j in range(1, k):
+                if local[i, j] > row_max:
+                    row_max = local[i, j]
+            sigma2 = max(row_max, 1e-12)
+            for j in range(k):
+                scores[i, labels[idx[i, j]]] += np.exp(-local[i, j] / sigma2)
+        return scores
+
+
+class NumbaBackend(ArrayBackend):
+    """JIT-compiled affinity/vote kernels; numpy fallback when absent.
+
+    Float64 numerics throughout, so with numba installed the results
+    match the reference backend to elementwise rounding of ``exp``
+    re-association (documented ``tolerance``); without numba the
+    kernels *are* the reference ones and the tolerance is exactly 0.
+    """
+
+    name = "numba"
+    tolerance = 1e-12 if _numba is not None else 0.0
+    description = (
+        "numba JIT kNN-affinity + vote kernels (falls back to numpy "
+        "when numba is not installed)"
+    )
+
+    @property
+    def available(self) -> bool:
+        """True only when the numba package imported successfully."""
+        return _numba is not None
+
+    def cache_token(self) -> str:
+        """Collapse to the numpy token when running on the fallback path.
+
+        Without numba the kernels are bit-identical to the reference
+        backend, so sharing cache entries is correct; with numba the
+        token diverges because ``exp`` outputs may differ in the last
+        bit.
+        """
+        if _numba is None:
+            return f"numpy:{self.compute_dtype.str}"
+        return f"{self.name}:{self.compute_dtype.str}"
+
+    def gaussian_kernel(self, d2: np.ndarray, sigma: float) -> np.ndarray:
+        """JIT elementwise RBF map; reference kernel when numba absent."""
+        if _numba is None:
+            return super().gaussian_kernel(d2, sigma)
+        return _nb_gaussian(
+            np.ascontiguousarray(d2), 2.0 * float(sigma) * float(sigma)
+        )
+
+    def self_tuning_kernel(
+        self, d2: np.ndarray, sigma: np.ndarray
+    ) -> np.ndarray:
+        """JIT locally scaled map; reference kernel when numba absent."""
+        if _numba is None:
+            return super().self_tuning_kernel(d2, sigma)
+        return _nb_self_tuning(
+            np.ascontiguousarray(d2), np.ascontiguousarray(sigma)
+        )
+
+    def kernel_vote_scores(
+        self,
+        d2: np.ndarray,
+        labels: np.ndarray,
+        n_clusters: int,
+        k: int,
+    ) -> np.ndarray:
+        """JIT scatter-add vote; reference kernel when numba absent."""
+        if _numba is None:
+            return super().kernel_vote_scores(d2, labels, n_clusters, k)
+        n_train = d2.shape[1]
+        k = max(1, min(k, n_train))
+        idx = np.argpartition(d2, k - 1, axis=1)[:, :k]
+        local = np.take_along_axis(d2, idx, axis=1)
+        return _nb_vote(
+            np.ascontiguousarray(local),
+            np.ascontiguousarray(idx),
+            np.ascontiguousarray(labels),
+            int(n_clusters),
+        )

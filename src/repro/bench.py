@@ -208,7 +208,14 @@ BENCHES: dict = {
 
 
 def machine_fingerprint() -> dict:
-    """Where a report was measured (for judging comparability)."""
+    """Where a report was measured (for judging comparability).
+
+    Includes the active compute backend: reports taken under different
+    backends measure different numerical contracts and should only be
+    compared deliberately (e.g. ``repro bench compare`` for speedups).
+    """
+    from repro.backends import current_backend
+
     return {
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
@@ -217,6 +224,7 @@ def machine_fingerprint() -> dict:
         "cpu_count": os.cpu_count(),
         "numpy": np.__version__,
         "scipy": scipy.__version__,
+        "backend": current_backend().name,
     }
 
 

@@ -35,7 +35,10 @@ Six subcommands mirror the evaluation artifacts:
   (:mod:`repro.bench`): ``bench run`` writes a schema-versioned
   ``BENCH_<tag>.json`` (wall-clock, metrics dump, resource peaks,
   machine fingerprint), ``bench compare`` gates one report against a
-  baseline with a configurable threshold (nonzero exit for CI).
+  baseline with a configurable threshold (nonzero exit for CI);
+* ``backends``    — ``backends list`` prints the registered compute
+  backends (:mod:`repro.backends`) with dtype, tolerance, and
+  availability, marking the currently active one.
 
 ``run`` exposes the observability layer: ``--verbose`` streams one line
 per solver iteration to stderr, ``--trace PATH`` writes the spans and
@@ -48,7 +51,9 @@ memoizes graph/Laplacian/eigen computations into an on-disk store
 builds per-view graphs on ``N`` worker threads (``-1`` = all CPUs).
 They also expose the robustness layer: ``--max-retries N`` installs a
 :class:`~repro.robust.FailurePolicy` giving every numerical kernel ``N``
-deterministic perturbed retries before its fallback chain.
+deterministic perturbed retries before its fallback chain, and the
+backend layer: ``--backend NAME`` runs the command under a non-default
+compute backend (``repro backends list`` shows the choices).
 
 Everything the CLI does is also available programmatically through
 :mod:`repro.evaluation`; the CLI only parses arguments and prints.
@@ -59,10 +64,11 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from contextlib import ExitStack
+from contextlib import ExitStack, nullcontext
 
 import numpy as np
 
+from repro.backends import available_backends, current_backend, use_backend
 from repro.datasets import available_benchmarks, get_spec, load_benchmark
 from repro.exceptions import ReproError, ValidationError
 from repro.evaluation.curves import convergence_curve, sparkline
@@ -207,6 +213,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker threads for per-view score computation",
     )
+    predict_p.add_argument(
+        "--backend",
+        default=None,
+        choices=available_backends(),
+        help="compute backend for scoring (see `repro backends list`)",
+    )
 
     serve_p = sub.add_parser(
         "serve", help="offline micro-batching throughput benchmark"
@@ -234,6 +246,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PORT",
         help="expose /metrics, /healthz, /stats on 127.0.0.1:PORT "
         "during the replay (0 = pick a free port)",
+    )
+    serve_p.add_argument(
+        "--backend",
+        default=None,
+        choices=available_backends(),
+        help="compute backend for scoring (see `repro backends list`)",
     )
 
     metrics_p = sub.add_parser(
@@ -339,6 +357,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="report path (default BENCH_<tag>.json in the cwd)",
     )
+    bench_run_p.add_argument(
+        "--backend",
+        default=None,
+        choices=available_backends(),
+        help="compute backend to benchmark under (recorded in the "
+        "report's machine fingerprint)",
+    )
     bench_cmp_p = bench_sub.add_parser(
         "compare",
         help="compare two BENCH_*.json reports; exit 1 on regression",
@@ -356,6 +381,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--warn-only",
         action="store_true",
         help="report regressions but always exit 0 (CI advisory mode)",
+    )
+
+    backends_p = sub.add_parser(
+        "backends", help="inspect the pluggable compute backends"
+    )
+    backends_sub = backends_p.add_subparsers(
+        dest="backends_command", required=True
+    )
+    backends_sub.add_parser(
+        "list", help="print every registered backend and the active one"
     )
     return parser
 
@@ -385,11 +420,21 @@ def _add_pipeline_args(parser) -> None:
         help="deterministic perturbed retries per numerical kernel "
         "before its fallback chain (default 1)",
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=available_backends(),
+        help="compute backend for the hot kernels "
+        "(default: ambient / REPRO_BACKEND / numpy)",
+    )
 
 
 def _pipeline_context(args, stack: ExitStack):
-    """Activate cache/jobs from CLI flags; returns the cache (or None)."""
+    """Activate backend/cache/jobs from CLI flags; returns the cache (or None)."""
     cache = None
+    if getattr(args, "backend", None) is not None:
+        # Entered first so the cache key below sees the backend token.
+        stack.enter_context(use_backend(args.backend))
     if getattr(args, "cache_dir", None):
         cache = ComputationCache(directory=args.cache_dir)
         stack.enter_context(use_cache(cache))
@@ -575,7 +620,10 @@ def _cmd_predict(args, out) -> int:
     from repro.metrics.report import evaluate_clustering
 
     predictor = Predictor.load(
-        args.artifact, batch_size=args.batch_size, n_jobs=args.jobs
+        args.artifact,
+        batch_size=args.batch_size,
+        n_jobs=args.jobs,
+        backend=args.backend,
     )
     dataset = load_benchmark(args.dataset)
     labels = predictor.predict(dataset.views)
@@ -599,7 +647,7 @@ def _cmd_serve(args, out) -> int:
     import threading
     import time
 
-    predictor = Predictor.load(args.artifact)
+    predictor = Predictor.load(args.artifact, backend=args.backend)
     dataset = load_benchmark(args.dataset)
     n = dataset.n_samples
     n_requests = max(1, args.requests)
@@ -789,13 +837,19 @@ def _cmd_bench(args, out) -> int:
 
     if args.bench_command == "run":
         names = [n.strip() for n in args.benches.split(",") if n.strip()]
-        report = bench_mod.run_benches(
-            names or None,
-            quick=args.quick,
-            repeats=args.repeats,
-            tag=args.tag,
-            profile=args.profile,
+        backend_ctx = (
+            use_backend(args.backend)
+            if args.backend is not None
+            else nullcontext()
         )
+        with backend_ctx:
+            report = bench_mod.run_benches(
+                names or None,
+                quick=args.quick,
+                repeats=args.repeats,
+                tag=args.tag,
+                profile=args.profile,
+            )
         path = args.out or f"BENCH_{args.tag}.json"
         bench_mod.write_report(report, path)
         for name, entry in report["benches"].items():
@@ -831,6 +885,26 @@ def _cmd_bench(args, out) -> int:
             return 0
         return 1
     raise AssertionError(f"unhandled bench command {args.bench_command!r}")
+
+
+def _cmd_backends(args, out) -> int:
+    """``repro backends list`` — print the backend registry."""
+    assert args.backends_command == "list"
+    from repro.backends import get_backend
+
+    active = current_backend()
+    print(f"active backend: {active.name}", file=out)
+    for name in available_backends():
+        backend = get_backend(name)
+        marker = "*" if backend.name == active.name else " "
+        avail = "yes" if backend.available else "no (falls back to numpy)"
+        print(
+            f"{marker} {backend.name:<8} dtype={backend.compute_dtype.str:<4} "
+            f"tolerance={backend.tolerance:g} available={avail}",
+            file=out,
+        )
+        print(f"    {backend.description}", file=out)
+    return 0
 
 
 def _cmd_convergence(args, out) -> int:
@@ -923,4 +997,6 @@ def main(argv=None, out=None) -> int:
         return _guard_trace_errors(_cmd_trace, args, out)
     if args.command == "bench":
         return _cmd_bench(args, out)
+    if args.command == "backends":
+        return _cmd_backends(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -21,9 +21,11 @@ making this the spectral-rotation end of the framework at scale.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 
 import numpy as np
 
+from repro.backends import get_backend, use_backend
 from repro.core.discrete import (
     indicator_coordinate_descent,
     rotation_initialize,
@@ -91,6 +93,10 @@ class AnchorMVSC(ServableModelMixin):
         default (serial).  Anchor *selection* stays serial (it consumes
         the shared random generator), so results are identical for any
         value.
+    backend : str or None
+        Compute backend for the hot kernels during :meth:`fit_predict`
+        (see :mod:`repro.backends`); ``None`` defers to the ambient
+        backend.
     random_state : int, Generator, or None
     callbacks : sequence of FitCallback, optional
         Listeners receiving one :class:`~repro.observability.events.
@@ -117,6 +123,7 @@ class AnchorMVSC(ServableModelMixin):
         max_iter: int = 10,
         n_restarts: int = 10,
         n_jobs: int | None = None,
+        backend: str | None = None,
         random_state=None,
         callbacks=(),
     ) -> None:
@@ -136,6 +143,7 @@ class AnchorMVSC(ServableModelMixin):
         self.max_iter = int(max_iter)
         self.n_restarts = int(n_restarts)
         self.n_jobs = n_jobs
+        self.backend = None if backend is None else get_backend(backend).name
         self.random_state = random_state
         self.callbacks = tuple(callbacks)
 
@@ -165,7 +173,10 @@ class AnchorMVSC(ServableModelMixin):
         Runs under the unified failure guard: only
         :class:`~repro.exceptions.ReproError` subclasses can escape.
         """
-        with failure_guard(_SITE_FIT):
+        backend_ctx = (
+            nullcontext() if self.backend is None else use_backend(self.backend)
+        )
+        with backend_ctx, failure_guard(_SITE_FIT):
             maybe_inject(_SITE_FIT)
             return self._fit_predict(views)
 

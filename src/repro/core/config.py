@@ -53,6 +53,14 @@ class UMSCConfig:
         :func:`repro.pipeline.parallel.use_jobs` (serial unless
         installed), ``-1`` uses every CPU.  Results are identical for
         any value.
+    backend : str or None
+        Compute backend for the hot kernels (``"numpy"``, ``"float32"``,
+        ``"numba"``; see :mod:`repro.backends`).  ``None`` (default)
+        defers to the ambient backend (an enclosing
+        :class:`~repro.backends.use_backend` block, the
+        ``REPRO_BACKEND`` environment variable, or the ``numpy``
+        default).  The numpy backend is bit-identical to earlier
+        releases; alternates carry a documented tolerance.
     """
 
     n_clusters: int
@@ -67,6 +75,7 @@ class UMSCConfig:
     gpi_max_iter: int = 50
     gpi_tol: float = 1e-8
     n_jobs: int | None = None
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.n_clusters < 1:
@@ -105,3 +114,7 @@ class UMSCConfig:
             raise ValidationError(
                 f"n_jobs must be None, -1, or >= 1, got {self.n_jobs}"
             )
+        if self.backend is not None:
+            from repro.backends import get_backend
+
+            get_backend(self.backend)  # unknown names raise eagerly

@@ -37,10 +37,12 @@ from __future__ import annotations
 
 import time
 import warnings
+from contextlib import nullcontext
 from dataclasses import asdict
 
 import numpy as np
 
+from repro.backends import use_backend
 from repro.cluster.labels import indicator_from_labels
 from repro.core.config import UMSCConfig
 from repro.core.discrete import (
@@ -127,6 +129,13 @@ class UnifiedMVSC(ServableModelMixin):
         ``None`` defers to the ambient
         :func:`repro.pipeline.parallel.use_jobs` default (serial),
         ``-1`` uses every CPU.  Labels are bit-identical for any value.
+    backend : str or None
+        Compute backend for the hot kernels during :meth:`fit` /
+        :meth:`fit_affinities` (``"numpy"``, ``"float32"``,
+        ``"numba"``; see :mod:`repro.backends`).  ``None`` defers to the
+        ambient backend.  The default numpy backend is bit-identical to
+        earlier releases; alternates trade a documented tolerance for
+        speed/memory.
     random_state : int, Generator, or None
         Seeds the rotation initialization (the only stochastic step).
     callbacks : sequence of FitCallback, optional
@@ -162,6 +171,7 @@ class UnifiedMVSC(ServableModelMixin):
         gpi_tol: float = 1e-8,
         n_restarts: int = 10,
         n_jobs: int | None = None,
+        backend: str | None = None,
         random_state=None,
         callbacks=(),
     ) -> None:
@@ -178,6 +188,7 @@ class UnifiedMVSC(ServableModelMixin):
             gpi_max_iter=gpi_max_iter,
             gpi_tol=gpi_tol,
             n_jobs=n_jobs,
+            backend=backend,
         )
         if n_restarts < 1:
             raise ValidationError(f"n_restarts must be >= 1, got {n_restarts}")
@@ -199,6 +210,12 @@ class UnifiedMVSC(ServableModelMixin):
     def _serving_config(self) -> dict:
         return {**asdict(self.config), "n_restarts": self.n_restarts}
 
+    def _backend_ctx(self):
+        """``use_backend`` for the configured backend, or a no-op ctx."""
+        if self.config.backend is None:
+            return nullcontext()
+        return use_backend(self.config.backend)
+
     def fit(self, views) -> UMSCResult:
         """Cluster raw multi-view features.
 
@@ -211,7 +228,7 @@ class UnifiedMVSC(ServableModelMixin):
             Per-view feature matrices sharing rows.
         """
         cfg = self.config
-        with collect_recoveries(), failure_guard(_SITE_FIT):
+        with self._backend_ctx(), collect_recoveries(), failure_guard(_SITE_FIT):
             with span("graph_build", kind=cfg.graph, n_views=len(views)):
                 affinities = build_multiview_affinities(
                     views,
@@ -251,7 +268,8 @@ class UnifiedMVSC(ServableModelMixin):
             numpy/scipy exception never escapes.  Recovery actions taken
             along the way are recorded on ``result.diagnostics.recoveries``.
         """
-        with collect_recoveries() as recoveries, failure_guard(_SITE_FIT):
+        with self._backend_ctx(), collect_recoveries() as recoveries, \
+                failure_guard(_SITE_FIT):
             maybe_inject(_SITE_FIT)
             return self._fit_affinities(affinities, recoveries)
 

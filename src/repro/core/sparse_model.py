@@ -15,9 +15,11 @@ spectral-rotation end of the framework.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 
 import numpy as np
 
+from repro.backends import get_backend, use_backend
 from repro.core.discrete import (
     indicator_coordinate_descent,
     rotation_initialize,
@@ -67,6 +69,10 @@ class SparseMVSC(ServableModelMixin):
         Worker threads for per-view graph construction; ``None`` defers
         to the ambient :func:`repro.pipeline.parallel.use_jobs` default
         (serial).  Results are identical for any value.
+    backend : str or None
+        Compute backend for the hot kernels during :meth:`fit_predict`
+        (see :mod:`repro.backends`); ``None`` defers to the ambient
+        backend.
     random_state : int, Generator, or None
     callbacks : sequence of FitCallback, optional
         Listeners receiving one :class:`~repro.observability.events.
@@ -85,6 +91,7 @@ class SparseMVSC(ServableModelMixin):
         n_restarts: int = 10,
         block: int = 512,
         n_jobs: int | None = None,
+        backend: str | None = None,
         random_state=None,
         callbacks=(),
     ) -> None:
@@ -102,6 +109,7 @@ class SparseMVSC(ServableModelMixin):
         self.n_restarts = int(n_restarts)
         self.block = int(block)
         self.n_jobs = n_jobs
+        self.backend = None if backend is None else get_backend(backend).name
         self.random_state = random_state
         self.callbacks = tuple(callbacks)
 
@@ -130,7 +138,10 @@ class SparseMVSC(ServableModelMixin):
         Runs under the unified failure guard: only
         :class:`~repro.exceptions.ReproError` subclasses can escape.
         """
-        with failure_guard(_SITE_FIT):
+        backend_ctx = (
+            nullcontext() if self.backend is None else use_backend(self.backend)
+        )
+        with backend_ctx, failure_guard(_SITE_FIT):
             maybe_inject(_SITE_FIT)
             return self._fit_predict(views)
 

@@ -25,6 +25,7 @@ from repro.evaluation.registry import MethodSpec, default_method_registry
 from repro.exceptions import ValidationError
 from repro.metrics import METRICS, evaluate_clustering
 from repro.observability.trace import Trace, use_trace
+from repro.backends import use_backend
 from repro.pipeline.cache import ComputationCache, use_cache
 from repro.pipeline.parallel import use_jobs
 from repro.robust.faults import maybe_inject, register_fault_site
@@ -133,6 +134,7 @@ def run_experiment(
     collect_phases: bool = True,
     cache: "ComputationCache | bool | None" = None,
     n_jobs: int | None = None,
+    backend: str | None = None,
 ) -> dict:
     """Run every requested method ``n_runs`` times on one dataset.
 
@@ -161,6 +163,9 @@ def run_experiment(
     n_jobs : int, optional
         Ambient worker-thread count for per-view graph construction
         during the runs (see :func:`repro.pipeline.parallel.use_jobs`).
+    backend : str, optional
+        Compute backend installed for the whole experiment (see
+        :mod:`repro.backends`); ``None`` defers to the ambient backend.
 
     Returns
     -------
@@ -185,8 +190,9 @@ def run_experiment(
         cache = ComputationCache()
     cache_ctx = use_cache(cache) if cache is not None else nullcontext()
     jobs_ctx = use_jobs(n_jobs) if n_jobs is not None else nullcontext()
+    backend_ctx = use_backend(backend) if backend is not None else nullcontext()
     results: dict[str, MethodScores] = {}
-    with cache_ctx, jobs_ctx:
+    with backend_ctx, cache_ctx, jobs_ctx:
         for name in methods:
             spec = registry[name]
             per_metric: dict[str, list] = {m: [] for m in metrics}

@@ -18,11 +18,31 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backends import current_backend
 from repro.exceptions import ValidationError
 from repro.graph.distance import pairwise_cosine_distances, pairwise_sq_euclidean
 from repro.graph.knn import kneighbors
 from repro.observability.profiling import profile_span
 from repro.utils.validation import check_matrix, check_square
+
+
+def _median_offdiag(d2: np.ndarray) -> float:
+    """Median of the off-diagonal entries of a square matrix.
+
+    Equivalent to ``np.median(d2[~np.eye(n, dtype=bool)])`` but without
+    materializing the n*n boolean mask and the n*n-sized fancy-indexed
+    copy: dropping the last element of the flat view and reshaping to
+    ``(n - 1, n + 1)`` lands every diagonal entry in column 0, so the
+    remaining columns are exactly the off-diagonal elements (a standard
+    stride trick; the reshape is copy-free on the contiguous ravel).
+    Returns 1.0 for an empty off-diagonal (n < 2), the historical
+    default.
+    """
+    n = d2.shape[0]
+    if n < 2:
+        return 1.0
+    off = np.ascontiguousarray(d2).ravel()[:-1].reshape(n - 1, n + 1)[:, 1:]
+    return float(np.median(off))
 
 
 def symmetrize(w: np.ndarray, *, mode: str = "average") -> np.ndarray:
@@ -47,7 +67,11 @@ def symmetrize(w: np.ndarray, *, mode: str = "average") -> np.ndarray:
 
 
 def gaussian_affinity(
-    x: np.ndarray, *, sigma: float | None = None, zero_diagonal: bool = True
+    x: np.ndarray,
+    *,
+    sigma: float | None = None,
+    zero_diagonal: bool = True,
+    pre_validated: bool = False,
 ) -> np.ndarray:
     """Global-bandwidth Gaussian (RBF) affinity ``exp(-d^2 / (2 sigma^2))``.
 
@@ -61,22 +85,32 @@ def gaussian_affinity(
     zero_diagonal : bool
         Remove self-loops (default True), the spectral clustering
         convention.
+    pre_validated : bool
+        Set by callers that already validated ``x`` (see
+        :func:`build_view_affinity`); validation runs exactly once per
+        public call either way.
     """
-    d2 = pairwise_sq_euclidean(check_matrix(x, "x"))
+    backend = current_backend()
+    if not pre_validated:
+        x = check_matrix(x, "x", dtype=backend.validation_dtype)
+    d2 = pairwise_sq_euclidean(x, pre_validated=True)
     if sigma is None:
-        off = d2[~np.eye(d2.shape[0], dtype=bool)]
-        med = float(np.median(off)) if off.size else 1.0
+        med = _median_offdiag(d2)
         sigma = np.sqrt(med) if med > 0 else 1.0
     if sigma <= 0:
         raise ValidationError(f"sigma must be positive, got {sigma}")
-    w = np.exp(-d2 / (2.0 * sigma * sigma))
+    w = backend.gaussian_kernel(d2, float(sigma))
     if zero_diagonal:
         np.fill_diagonal(w, 0.0)
-    return symmetrize(w)
+    return (w + w.T) / 2.0
 
 
 def self_tuning_affinity(
-    x: np.ndarray, *, k: int = 7, zero_diagonal: bool = True
+    x: np.ndarray,
+    *,
+    k: int = 7,
+    zero_diagonal: bool = True,
+    pre_validated: bool = False,
 ) -> np.ndarray:
     """Self-tuning (locally scaled) Gaussian affinity.
 
@@ -92,25 +126,35 @@ def self_tuning_affinity(
         Neighbor rank used for the local scale; clipped to ``n - 1``.
     zero_diagonal : bool
         Remove self-loops (default True).
+    pre_validated : bool
+        Set by callers that already validated ``x`` (see
+        :func:`build_view_affinity`).
     """
-    x = check_matrix(x, "x")
+    backend = current_backend()
+    if not pre_validated:
+        x = check_matrix(x, "x", dtype=backend.validation_dtype)
     n = x.shape[0]
     if n < 2:
         raise ValidationError("self_tuning_affinity needs at least 2 samples")
     if k < 1:
         raise ValidationError(f"k must be >= 1, got {k}")
     k = min(k, n - 1)
-    d2 = pairwise_sq_euclidean(x)
+    d2 = pairwise_sq_euclidean(x, pre_validated=True)
     _, knn_d = kneighbors(np.sqrt(d2), k)
     sigma = knn_d[:, -1]
-    sigma = np.where(sigma > 0, sigma, np.finfo(float).eps)
-    w = np.exp(-d2 / np.outer(sigma, sigma))
+    # finfo of d2's own dtype: float64 here is bit-identical to the
+    # historical np.finfo(float).eps, and a float32 backend must not let
+    # a strong float64 eps scalar upcast the whole sigma vector.
+    sigma = np.where(sigma > 0, sigma, np.finfo(d2.dtype).eps)
+    w = backend.self_tuning_kernel(d2, sigma)
     if zero_diagonal:
         np.fill_diagonal(w, 0.0)
-    return symmetrize(w)
+    return (w + w.T) / 2.0
 
 
-def cosine_affinity(x: np.ndarray, *, zero_diagonal: bool = True) -> np.ndarray:
+def cosine_affinity(
+    x: np.ndarray, *, zero_diagonal: bool = True, pre_validated: bool = False
+) -> np.ndarray:
     """Cosine-similarity affinity rescaled into ``[0, 1]``.
 
     ``W_ij = (1 + cos(x_i, x_j)) / 2`` — the standard choice for sparse
@@ -118,14 +162,17 @@ def cosine_affinity(x: np.ndarray, *, zero_diagonal: bool = True) -> np.ndarray:
     Zero rows (empty documents) inherit the distance layer's convention:
     they sit at the neutral affinity 0.5 to everything *including
     themselves*, so a dead document never gets a self-similarity spike
-    even with ``zero_diagonal=False``.
+    even with ``zero_diagonal=False``.  ``pre_validated`` skips the
+    redundant re-check for callers that already validated ``x``.
     """
-    sim = 1.0 - pairwise_cosine_distances(check_matrix(x, "x"))
+    if not pre_validated:
+        x = check_matrix(x, "x", dtype=current_backend().validation_dtype)
+    sim = 1.0 - pairwise_cosine_distances(x, pre_validated=True)
     w = (1.0 + sim) / 2.0
     np.clip(w, 0.0, 1.0, out=w)
     if zero_diagonal:
         np.fill_diagonal(w, 0.0)
-    return symmetrize(w)
+    return (w + w.T) / 2.0
 
 
 def knn_sparsify(w: np.ndarray, k: int, *, mutual: bool = False) -> np.ndarray:
@@ -146,7 +193,7 @@ def knn_sparsify(w: np.ndarray, k: int, *, mutual: bool = False) -> np.ndarray:
     ndarray of shape (n, n)
         Sparsified symmetric affinity with zero diagonal.
     """
-    w = check_square(w, "w")
+    w = check_square(w, "w", dtype=current_backend().validation_dtype)
     n = w.shape[0]
     if not 1 <= k <= n - 1:
         raise ValidationError(f"k must be in [1, {n - 1}], got {k}")
@@ -159,7 +206,7 @@ def knn_sparsify(w: np.ndarray, k: int, *, mutual: bool = False) -> np.ndarray:
     mask = (mask & mask.T) if mutual else (mask | mask.T)
     out = np.where(mask, w, 0.0)
     np.fill_diagonal(out, 0.0)
-    return symmetrize(out, mode="max")
+    return np.maximum(out, out.T)
 
 
 def build_view_affinity(
@@ -192,16 +239,19 @@ def build_view_affinity(
     ndarray of shape (n, n)
         Symmetric non-negative affinity with zero diagonal.
     """
-    x = check_matrix(x, "x")
+    backend = current_backend()
+    x = check_matrix(x, "x", dtype=backend.validation_dtype)
     n = x.shape[0]
     k_eff = max(1, min(k, n - 1))
-    with profile_span("knn_affinity", kind=kind, n=n, k=k_eff):
+    with profile_span(
+        "knn_affinity", kind=kind, n=n, k=k_eff, backend=backend.name
+    ):
         if kind == "self_tuning":
-            w = self_tuning_affinity(x, k=min(7, k_eff))
+            w = self_tuning_affinity(x, k=min(7, k_eff), pre_validated=True)
         elif kind == "gaussian":
-            w = gaussian_affinity(x, sigma=sigma)
+            w = gaussian_affinity(x, sigma=sigma, pre_validated=True)
         elif kind == "cosine":
-            w = cosine_affinity(x)
+            w = cosine_affinity(x, pre_validated=True)
         elif kind == "adaptive":
             from repro.graph.adaptive import adaptive_neighbor_affinity
 

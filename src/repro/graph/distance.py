@@ -4,12 +4,19 @@ Dense, vectorized implementations sized for the paper's benchmarks
 (n up to a few thousand).  Squared Euclidean distances are computed with the
 expansion ``||x - y||^2 = ||x||^2 + ||y||^2 - 2 x.y`` and clipped at zero to
 remove negative roundoff.
+
+The arithmetic lives in the active :class:`~repro.backends.ArrayBackend`
+(float64 numpy by default; see :mod:`repro.backends`); these public
+functions own argument validation — run exactly once per call — and the
+structural checks (shared feature dimension, ``y_sq_norms`` shape),
+then dispatch.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.backends import current_backend
 from repro.utils.validation import check_matrix
 
 
@@ -18,6 +25,7 @@ def pairwise_sq_euclidean(
     y: np.ndarray | None = None,
     *,
     y_sq_norms: np.ndarray | None = None,
+    pre_validated: bool = False,
 ) -> np.ndarray:
     """Squared Euclidean distance matrix between rows of ``x`` and ``y``.
 
@@ -31,48 +39,51 @@ def pairwise_sq_euclidean(
         index amortize the reference-set norms across queries (see
         :mod:`repro.serving.predictor`).  Results are bit-identical to
         passing nothing.  Only valid together with ``y``.
+    pre_validated : bool
+        Set by callers (the affinity layer) that already ran
+        :func:`~repro.utils.validation.check_matrix` on the inputs, to
+        skip the redundant re-validation/re-copy on the hot path.
+        Structural cross-argument checks still run.
 
     Returns
     -------
     ndarray of shape (n, m)
-        Non-negative squared distances.
+        Non-negative squared distances, in the active backend's compute
+        dtype.
     """
-    x = check_matrix(x, "x")
+    backend = current_backend()
+    if not pre_validated:
+        x = check_matrix(x, "x", dtype=backend.validation_dtype)
     symmetric = y is None
-    y = x if symmetric else check_matrix(y, "y")
-    if x.shape[1] != y.shape[1]:
+    if not symmetric and not pre_validated:
+        y = check_matrix(y, "y", dtype=backend.validation_dtype)
+    y_cols = x.shape[1] if symmetric else y.shape[1]
+    if x.shape[1] != y_cols:
         from repro.exceptions import ValidationError
 
         raise ValidationError(
-            f"x and y must share the feature dimension, got {x.shape[1]} and {y.shape[1]}"
+            f"x and y must share the feature dimension, got {x.shape[1]} and {y_cols}"
         )
     if y_sq_norms is not None:
         from repro.exceptions import ValidationError
 
         if symmetric:
             raise ValidationError("y_sq_norms requires an explicit y")
-        y_sq_norms = np.asarray(y_sq_norms, dtype=np.float64)
+        y_sq_norms = np.asarray(y_sq_norms, dtype=backend.compute_dtype)
         if y_sq_norms.shape != (y.shape[0],):
             raise ValidationError(
                 f"y_sq_norms must have shape ({y.shape[0]},), "
                 f"got {y_sq_norms.shape}"
             )
-    xx = np.einsum("ij,ij->i", x, x)
-    if symmetric:
-        yy = xx
-    elif y_sq_norms is not None:
-        yy = y_sq_norms
-    else:
-        yy = np.einsum("ij,ij->i", y, y)
-    d = xx[:, None] + yy[None, :] - 2.0 * (x @ y.T)
-    np.maximum(d, 0.0, out=d)
-    if symmetric:
-        np.fill_diagonal(d, 0.0)
-        d = (d + d.T) / 2.0
-    return d
+    return backend.pairwise_sq_euclidean(x, y, y_sq_norms=y_sq_norms)
 
 
-def pairwise_cosine_distances(x: np.ndarray, y: np.ndarray | None = None) -> np.ndarray:
+def pairwise_cosine_distances(
+    x: np.ndarray,
+    y: np.ndarray | None = None,
+    *,
+    pre_validated: bool = False,
+) -> np.ndarray:
     """Cosine distance matrix ``1 - cos(x_i, y_j)`` between rows.
 
     Zero rows are treated as maximally distant from *everything*
@@ -81,26 +92,30 @@ def pairwise_cosine_distances(x: np.ndarray, y: np.ndarray | None = None) -> np.
     Only nonzero rows get the exact-zero self-distance of the symmetric
     path; a dead document must not look like its own nearest neighbor.
 
+    Parameters
+    ----------
+    x : ndarray of shape (n, d)
+    y : ndarray of shape (m, d), optional
+        Defaults to ``x``.
+    pre_validated : bool
+        Skip re-validation of already-checked inputs (see
+        :func:`pairwise_sq_euclidean`).
+
     Returns
     -------
     ndarray of shape (n, m)
-        Values in ``[0, 2]``.
+        Values in ``[0, 2]``, in the active backend's compute dtype.
     """
-    x = check_matrix(x, "x")
+    backend = current_backend()
+    if not pre_validated:
+        x = check_matrix(x, "x", dtype=backend.validation_dtype)
     symmetric = y is None
-    y = x if symmetric else check_matrix(y, "y")
-    xn = np.linalg.norm(x, axis=1)
-    yn = xn if symmetric else np.linalg.norm(y, axis=1)
-    safe_xn = np.where(xn > 0, xn, 1.0)
-    safe_yn = np.where(yn > 0, yn, 1.0)
-    sim = (x / safe_xn[:, None]) @ (y / safe_yn[:, None]).T
-    sim[xn == 0, :] = 0.0
-    sim[:, yn == 0] = 0.0
-    d = 1.0 - sim
-    np.clip(d, 0.0, 2.0, out=d)
-    if symmetric:
-        np.fill_diagonal(d, 0.0)
-        dead = np.flatnonzero(xn == 0)
-        d[dead, dead] = 1.0
-        d = (d + d.T) / 2.0
-    return d
+    if not symmetric and not pre_validated:
+        y = check_matrix(y, "y", dtype=backend.validation_dtype)
+    if not symmetric and x.shape[1] != y.shape[1]:
+        from repro.exceptions import ValidationError
+
+        raise ValidationError(
+            f"x and y must share the feature dimension, got {x.shape[1]} and {y.shape[1]}"
+        )
+    return backend.pairwise_cosine_distances(x, y)

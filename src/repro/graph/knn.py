@@ -1,9 +1,15 @@
-"""k-nearest-neighbor index computation over a distance matrix."""
+"""k-nearest-neighbor index computation over a distance matrix.
+
+Validation lives here; the selection kernel (argpartition + stable
+within-slice sort) is dispatched to the active
+:class:`~repro.backends.ArrayBackend`.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.backends import current_backend
 from repro.exceptions import ValidationError
 
 
@@ -27,7 +33,13 @@ def kneighbors(
     (indices, dists)
         Both of shape ``(n, k)``; neighbors sorted by increasing distance.
     """
-    d = np.asarray(distances, dtype=np.float64)
+    backend = current_backend()
+    if backend.validation_dtype is None:
+        d = np.asarray(distances)
+        if d.dtype not in (np.float32, np.float64):
+            d = np.asarray(d, dtype=np.float64)
+    else:
+        d = np.asarray(distances, dtype=backend.validation_dtype)
     if d.ndim != 2 or d.shape[0] != d.shape[1]:
         raise ValidationError(f"distances must be square 2-D, got shape {d.shape}")
     if np.any(np.isnan(d)):
@@ -36,12 +48,4 @@ def kneighbors(
     limit = n if include_self else n - 1
     if not 1 <= k <= limit:
         raise ValidationError(f"k must be in [1, {limit}] for n={n}, got {k}")
-    work = d.copy()
-    if not include_self:
-        np.fill_diagonal(work, np.inf)
-    # argpartition then sort within the top-k slice: O(n^2 + n k log k).
-    part = np.argpartition(work, k - 1, axis=1)[:, :k]
-    row = np.arange(n)[:, None]
-    order = np.argsort(work[row, part], axis=1, kind="stable")
-    idx = part[row, order]
-    return idx, work[row, idx]
+    return backend.knn_select(d, k, include_self=include_self)

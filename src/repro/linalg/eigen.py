@@ -21,6 +21,13 @@ All three entry points are pure functions of their inputs, so they
 memoize through the ambient :mod:`repro.pipeline` cache when one is
 active (keyed on the matrix bytes, ``k``, and which end of the spectrum);
 cached results are bit-identical to direct computation.
+
+The *dense* primary paths dispatch through the active
+:class:`~repro.backends.ArrayBackend` (reduced-precision backends run
+LAPACK in their compute dtype and hand back float64 pairs); the
+fallbacks and the sparse ARPACK Lanczos path stay plain float64 —
+robustness recovery and shift-invert iterations are precision-sensitive,
+and a fallback must not share the failure mode of the path it rescues.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ import scipy.linalg
 import scipy.sparse
 import scipy.sparse.linalg
 
+from repro.backends import current_backend
 from repro.exceptions import NumericalError, ValidationError
 from repro.observability.profiling import profile_span
 from repro.observability.trace import metric_inc
@@ -91,7 +99,7 @@ def _sorted_eigh(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     def primary(perturb: float) -> tuple[np.ndarray, np.ndarray]:
         shift = perturb * _shift_scale(sym)
         mat = sym if shift == 0.0 else sym + shift * np.eye(n)
-        values, vectors = scipy.linalg.eigh(mat)
+        values, vectors = current_backend().sorted_eigh(mat)
         if shift != 0.0:
             values = values - shift
         if not np.all(np.isfinite(values)):
@@ -152,11 +160,14 @@ def _dense_extremal(
     label = "smallest" if smallest else "largest"
 
     def primary(perturb: float) -> tuple[np.ndarray, np.ndarray]:
+        backend = current_backend()
         shift = perturb * _shift_scale(sym)
         mat = sym if shift == 0.0 else sym + shift * np.eye(n)
         metric_inc("eigsh.calls")
-        with profile_span("eigsh", n=n, k=k, which=label, path="dense"):
-            values, vectors = scipy.linalg.eigh(mat, subset_by_index=subset)
+        with profile_span(
+            "eigsh", n=n, k=k, which=label, path="dense", backend=backend.name
+        ):
+            values, vectors = backend.eigh_extremal(mat, subset[0], subset[1])
         if shift != 0.0:
             values = values - shift
         if not np.all(np.isfinite(values)):

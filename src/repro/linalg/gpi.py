@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.backends import current_backend
 from repro.exceptions import NumericalError, ValidationError
 from repro.linalg.procrustes import nearest_orthogonal
 from repro.observability.profiling import profile_span
@@ -124,18 +125,25 @@ def gpi_stiefel(
         if f.shape != (n, k):
             raise ValidationError(f"f0 must have shape ({n}, {k}), got {f.shape}")
 
-    shifted = eta * np.eye(n) - a
+    backend = current_backend()
+    # The per-iteration GEMMs run in the backend's compute dtype; the
+    # polar factor (nearest_orthogonal) stays a float64 SVD for
+    # robustness, so the iterate is re-prepared after each projection.
+    shifted = backend.prepare(eta * np.eye(n) - a)
+    a_c = backend.prepare(a)
+    b_c = backend.prepare(b)
+    f = backend.prepare(f)
     history: list[float] = []
-    prev = _qpoc_objective(a, b, f)
+    prev = _qpoc_objective(a_c, b_c, f)
     converged = False
     n_iter = 0
-    with profile_span("gpi", n=n, k=k) as gpi_span:
+    with profile_span("gpi", n=n, k=k, backend=backend.name) as gpi_span:
         for n_iter in range(1, max_iter + 1):
-            m = maybe_inject(_SITE_ITERATE, 2.0 * (shifted @ f) + 2.0 * b)
+            m = maybe_inject(_SITE_ITERATE, 2.0 * (shifted @ f) + 2.0 * b_c)
             if not np.all(np.isfinite(m)):
                 raise NumericalError("GPI produced non-finite iterate")
-            f = nearest_orthogonal(m)
-            obj = _qpoc_objective(a, b, f)
+            f = backend.prepare(nearest_orthogonal(m))
+            obj = _qpoc_objective(a_c, b_c, f)
             history.append(obj)
             denom = max(abs(prev), 1e-12)
             if abs(prev - obj) / denom < tol:
@@ -146,7 +154,7 @@ def gpi_stiefel(
     metric_observe("gpi.inner_iterations", n_iter)
 
     return GPIResult(
-        f=f,
+        f=np.asarray(f, dtype=np.float64),
         objective=history[-1] if history else prev,
         n_iter=n_iter,
         converged=converged,

@@ -57,7 +57,8 @@ from repro.observability.trace import metric_inc, span
 
 #: Bump when the key schema or stored-value layout changes; old disk
 #: entries then simply miss instead of deserializing wrongly.
-CACHE_FORMAT_VERSION = 1
+#: v2: keys additionally bind the active compute backend's cache token.
+CACHE_FORMAT_VERSION = 2
 
 _ACTIVE: ContextVar["ComputationCache | None"] = ContextVar(
     "repro_active_cache", default=None
@@ -97,10 +98,19 @@ def cache_key(namespace: str, arrays=(), params: dict | None = None) -> str:
     Returns
     -------
     str
-        Hex digest (stable across processes for equal inputs).
+        Hex digest (stable across processes for equal inputs and equal
+        active backend).  The active
+        :class:`~repro.backends.ArrayBackend`'s cache token is part of
+        the key, so a result computed under one numerical contract
+        (say float32) can never satisfy a lookup made under another.
     """
+    from repro.backends import current_backend
+
     h = hashlib.blake2b(digest_size=20)
-    h.update(f"v{CACHE_FORMAT_VERSION}:{namespace}".encode())
+    h.update(
+        f"v{CACHE_FORMAT_VERSION}:{current_backend().cache_token()}:"
+        f"{namespace}".encode()
+    )
     for x in arrays:
         _hash_array(h, x)
     if params:

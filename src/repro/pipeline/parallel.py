@@ -105,5 +105,18 @@ def parallel_map(fn, items, *, n_jobs: int | None = None) -> list:
     jobs = resolve_jobs(n_jobs, n_tasks=len(items))
     if jobs <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
+    from repro.backends import current_backend, use_backend
+
+    # Unlike trace/cache state, the active compute backend MUST follow
+    # into the workers: it changes the numerics (and the cache keys the
+    # calling thread computed), so a worker falling back to the default
+    # backend would be a silent wrong-contract computation rather than a
+    # harmless no-op.
+    backend = current_backend()
+
+    def run_pinned(item):
+        with use_backend(backend):
+            return fn(item)
+
     with ThreadPoolExecutor(max_workers=jobs) as pool:
-        return list(pool.map(fn, items))
+        return list(pool.map(run_pinned, items))

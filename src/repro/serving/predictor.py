@@ -29,9 +29,11 @@ from __future__ import annotations
 
 import time
 import warnings
+from contextlib import nullcontext
 
 import numpy as np
 
+from repro.backends import current_backend, get_backend, use_backend
 from repro.exceptions import ClampWarning, ValidationError
 from repro.graph.distance import pairwise_sq_euclidean
 from repro.observability.profiling import profile_span
@@ -80,19 +82,14 @@ def kernel_vote_scores(
     Returns
     -------
     ndarray of shape (n_queries, n_clusters)
-        Non-negative vote scores.
+        Non-negative float64 vote scores (accumulation stays float64
+        under every backend).  The arithmetic is the active
+        :class:`~repro.backends.ArrayBackend`'s ``kernel_vote_scores``
+        kernel.
     """
-    n_queries, n_train = d2.shape
-    k = max(1, min(k, n_train))
-    idx = np.argpartition(d2, k - 1, axis=1)[:, :k]
-    rows = np.arange(n_queries)[:, None]
-    local = d2[rows, idx]
-    # Self-tuning bandwidth: each query's k-th neighbor distance.
-    sigma2 = np.maximum(local.max(axis=1, keepdims=True), 1e-12)
-    kernel = np.exp(-local / sigma2)
-    scores = np.zeros((n_queries, n_clusters))
-    np.add.at(scores, (rows, labels[idx]), kernel)
-    return scores
+    return current_backend().kernel_vote_scores(
+        np.asarray(d2), np.asarray(labels), int(n_clusters), int(k)
+    )
 
 
 class _ViewIndex:
@@ -138,6 +135,11 @@ class Predictor:
         to the ambient :func:`repro.pipeline.parallel.use_jobs` default
         (serial), ``-1`` uses every CPU.  Results are bit-identical for
         any value (votes are accumulated in view order).
+    backend : str or ArrayBackend, optional
+        Compute backend for the distance/vote kernels of this
+        predictor's calls (wrapped in
+        :class:`~repro.backends.use_backend` per request); ``None``
+        (default) defers to the ambient backend.
 
     Examples
     --------
@@ -160,6 +162,7 @@ class Predictor:
         *,
         batch_size: int = 4096,
         n_jobs: int | None = None,
+        backend: str | None = None,
     ) -> None:
         if not isinstance(artifact, ModelArtifact):
             raise ValidationError(
@@ -173,6 +176,7 @@ class Predictor:
         self.artifact = artifact
         self.batch_size = int(batch_size)
         self.n_jobs = n_jobs
+        self.backend = None if backend is None else get_backend(backend)
         n_train = artifact.n_samples
         if artifact.n_neighbors > n_train:
             warnings.warn(
@@ -207,10 +211,13 @@ class Predictor:
         *,
         batch_size: int = 4096,
         n_jobs: int | None = None,
+        backend: str | None = None,
     ) -> "Predictor":
         """Load an artifact directory and build the predictor over it."""
         artifact = ModelArtifact.load(directory)
-        return cls(artifact, batch_size=batch_size, n_jobs=n_jobs)
+        return cls(
+            artifact, batch_size=batch_size, n_jobs=n_jobs, backend=backend
+        )
 
     # -- public API --------------------------------------------------------
 
@@ -256,8 +263,15 @@ class Predictor:
             )
         batch_size = int(batch_size)
         tick = time.perf_counter()
-        with profile_span(
-            "serving.predict", n_samples=m, batch_size=batch_size
+        backend_ctx = (
+            use_backend(self.backend) if self.backend is not None
+            else nullcontext()
+        )
+        with backend_ctx, profile_span(
+            "serving.predict",
+            n_samples=m,
+            batch_size=batch_size,
+            backend=current_backend().name,
         ), failure_guard(_SITE_PREDICT):
             chunks = []
             for start in range(0, m, batch_size):

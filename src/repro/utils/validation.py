@@ -20,6 +20,7 @@ def check_matrix(
     min_rows: int = 1,
     min_cols: int = 1,
     allow_nonfinite: bool = False,
+    dtype=np.float64,
 ) -> np.ndarray:
     """Validate and convert a 2-D numeric array.
 
@@ -33,13 +34,25 @@ def check_matrix(
         Minimum acceptable dimensions.
     allow_nonfinite : bool
         If False (default), NaN/Inf entries raise.
+    dtype : numpy dtype or None
+        Target dtype.  The default (``np.float64``) keeps the historical
+        behavior of always coercing.  ``None`` passes float32 and
+        float64 inputs through unchanged (no copy, no silent memory
+        doubling — what reduced-precision backends request); every other
+        input dtype still coerces to float64.
 
     Returns
     -------
     numpy.ndarray
-        A float64 C-contiguous copy-if-needed view of ``x``.
+        A C-contiguous copy-if-needed view of ``x`` in the resolved
+        dtype.
     """
-    arr = np.asarray(x, dtype=np.float64)
+    if dtype is None:
+        arr = np.asarray(x)
+        if arr.dtype not in (np.float32, np.float64):
+            arr = np.asarray(arr, dtype=np.float64)
+    else:
+        arr = np.asarray(x, dtype=dtype)
     if arr.ndim != 2:
         raise ValidationError(f"{name} must be 2-D, got ndim={arr.ndim}")
     rows, cols = arr.shape
@@ -52,9 +65,13 @@ def check_matrix(
     return arr
 
 
-def check_square(x, name: str = "A") -> np.ndarray:
-    """Validate a square 2-D matrix (see :func:`check_matrix`)."""
-    arr = check_matrix(x, name)
+def check_square(x, name: str = "A", *, dtype=np.float64) -> np.ndarray:
+    """Validate a square 2-D matrix (see :func:`check_matrix`).
+
+    ``dtype`` forwards to :func:`check_matrix` (``None`` preserves
+    float32/float64 inputs).
+    """
+    arr = check_matrix(x, name, dtype=dtype)
     if arr.shape[0] != arr.shape[1]:
         raise ValidationError(
             f"{name} must be square, got shape {arr.shape[0]}x{arr.shape[1]}"

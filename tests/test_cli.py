@@ -285,3 +285,60 @@ class TestMetricsDump:
             == 0
         )
         assert json.loads(dest.read_text())["traceEvents"]
+
+
+class TestBackendsCommand:
+    def test_backends_list(self):
+        out = io.StringIO()
+        assert main(["backends", "list"], out=out) == 0
+        text = out.getvalue()
+        assert "active backend: numpy" in text
+        for name in ("numpy", "float32", "numba"):
+            assert name in text
+
+    def test_backend_flag_on_run(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "run",
+                "--dataset",
+                "three_sources",
+                "--backend",
+                "float32",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "acc" in out.getvalue()
+
+    def test_unknown_backend_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--dataset", "yale", "--backend", "float16"]
+            )
+
+    def test_bench_run_records_backend_in_fingerprint(self, tmp_path):
+        import json
+
+        out = io.StringIO()
+        path = tmp_path / "bench.json"
+        code = main(
+            [
+                "bench",
+                "run",
+                "--quick",
+                "--repeats",
+                "1",
+                "--benches",
+                "graph_build",
+                "--no-profile",
+                "--backend",
+                "float32",
+                "--out",
+                str(path),
+            ],
+            out=out,
+        )
+        assert code == 0
+        report = json.loads(path.read_text())
+        assert report["machine"]["backend"] == "float32"

@@ -151,3 +151,74 @@ class TestBuildViewAffinity:
         labels = spectral_clustering(w, 2, random_state=0)
         truth = np.repeat([0, 1], 15)
         assert clustering_accuracy(truth, labels) == 1.0
+
+
+class TestSingleValidation:
+    """The hot path validates each input exactly once per public call.
+
+    Before the backend refactor every affinity kernel ran
+    ``check_matrix`` on ``x`` and then the distance layer re-validated
+    (and re-copied) the same array.  The ``pre_validated`` fast path
+    removed the duplicate; these spies pin that it stays removed.
+    """
+
+    @pytest.fixture
+    def spy(self, monkeypatch):
+        """Count ``check_matrix`` calls made on the raw feature matrix."""
+        import repro.graph.affinity as affinity_mod
+        import repro.graph.distance as distance_mod
+        from repro.utils.validation import check_matrix
+
+        calls = []
+
+        def counting_check_matrix(x, name="x", **kwargs):
+            calls.append(name)
+            return check_matrix(x, name, **kwargs)
+
+        monkeypatch.setattr(
+            affinity_mod, "check_matrix", counting_check_matrix
+        )
+        monkeypatch.setattr(
+            distance_mod, "check_matrix", counting_check_matrix
+        )
+        return calls
+
+    @pytest.mark.parametrize(
+        "kernel",
+        [
+            gaussian_affinity,
+            lambda x: self_tuning_affinity(x, k=5),
+            cosine_affinity,
+        ],
+        ids=["gaussian", "self_tuning", "cosine"],
+    )
+    def test_affinity_kernels_validate_once(self, spy, kernel):
+        kernel(_two_blobs())
+        assert len(spy) == 1, spy
+
+    def test_distance_functions_validate_once(self, spy):
+        from repro.graph.distance import (
+            pairwise_cosine_distances,
+            pairwise_sq_euclidean,
+        )
+
+        x = _two_blobs()
+        pairwise_sq_euclidean(x)
+        assert len(spy) == 1, spy
+        spy.clear()
+        pairwise_cosine_distances(x)
+        assert len(spy) == 1, spy
+
+    def test_build_view_affinity_validates_data_once(self, spy):
+        # knn_sparsify separately validates the *affinity* matrix it is
+        # given (a different input); the raw data matrix itself must be
+        # checked exactly once.
+        build_view_affinity(_two_blobs(), k=5, sparsify=False)
+        assert len(spy) == 1, spy
+
+    def test_pre_validated_still_rejects_bad_public_input(self, spy):
+        bad = _two_blobs()
+        bad[0, 0] = np.nan
+        with pytest.raises(ValidationError):
+            gaussian_affinity(bad)
+        assert len(spy) == 1, spy

@@ -43,6 +43,31 @@ class TestCheckMatrix:
         with pytest.raises(ValidationError, match="myarg"):
             check_matrix([1.0], name="myarg")
 
+    def test_default_coerces_float32_to_float64(self):
+        out = check_matrix(np.ones((2, 2), dtype=np.float32))
+        assert out.dtype == np.float64
+
+    def test_dtype_none_preserves_float32(self):
+        x32 = np.ones((2, 2), dtype=np.float32)
+        out = check_matrix(x32, dtype=None)
+        assert out.dtype == np.float32
+
+    def test_dtype_none_preserves_float64_without_copy(self):
+        x64 = np.ones((3, 2))
+        out = check_matrix(x64, dtype=None)
+        assert out.dtype == np.float64
+        assert out is x64 or np.shares_memory(out, x64)
+
+    def test_dtype_none_still_coerces_integers(self):
+        out = check_matrix([[1, 2], [3, 4]], dtype=None)
+        assert out.dtype == np.float64
+
+    def test_dtype_none_still_rejects_nan(self):
+        with pytest.raises(ValidationError, match="NaN or Inf"):
+            check_matrix(
+                np.array([[np.nan, 0.0]], dtype=np.float32), dtype=None
+            )
+
 
 class TestCheckSquare:
     def test_accepts_square(self):
