@@ -181,6 +181,27 @@ def _bench_serving_throughput(quick: bool):
     return work
 
 
+def _bench_scenario_matrix(quick: bool):
+    """Robustness-matrix sweep (mirrors ``bench_scenario_matrix``).
+
+    Tracking the matrix wall-clock in the regression gate means a
+    robustness-harness slowdown (or a scenario generator that silently
+    got expensive) fails CI exactly like a kernel regression.
+    """
+    from repro.evaluation.scenario_matrix import run_scenario_matrix
+
+    n = 70 if quick else 160
+    methods = ("UMSC", "ConcatSC")
+    scenarios = ("clean", "confused_pairs", "missing_views")
+
+    def work():
+        run_scenario_matrix(
+            methods=methods, scenarios=scenarios, n_samples=n, n_runs=1
+        )
+
+    return work
+
+
 #: The declared tracked subset: ``{name: (description, factory)}``.
 #: Each factory takes ``quick`` and returns the zero-argument timed body.
 BENCHES: dict = {
@@ -203,6 +224,10 @@ BENCHES: dict = {
     "serving_throughput": (
         "micro-batched PredictionService replay (bench_serving_throughput)",
         _bench_serving_throughput,
+    ),
+    "scenario_matrix": (
+        "method × scenario robustness grid (bench_scenario_matrix)",
+        _bench_scenario_matrix,
     ),
 }
 

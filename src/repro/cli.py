@@ -38,7 +38,14 @@ Six subcommands mirror the evaluation artifacts:
   baseline with a configurable threshold (nonzero exit for CI);
 * ``backends``    — ``backends list`` prints the registered compute
   backends (:mod:`repro.backends`) with dtype, tolerance, and
-  availability, marking the currently active one.
+  availability, marking the currently active one;
+* ``scenarios``   — the controlled robustness scenario factory
+  (:mod:`repro.datasets.scenarios`): ``scenarios list`` prints every
+  registered scenario with its active knobs, ``scenarios run`` executes
+  the method × scenario matrix
+  (:mod:`repro.evaluation.scenario_matrix`) and prints one ACC/NMI/ARI
+  grid per metric (``--quick`` for the CI smoke size, ``--json`` for
+  the machine-readable artifact).
 
 ``run`` exposes the observability layer: ``--verbose`` streams one line
 per solver iteration to stderr, ``--trace PATH`` writes the spans and
@@ -391,6 +398,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     backends_sub.add_parser(
         "list", help="print every registered backend and the active one"
+    )
+
+    scen_p = sub.add_parser(
+        "scenarios",
+        help="controlled robustness scenarios (list / run the matrix)",
+    )
+    scen_sub = scen_p.add_subparsers(dest="scenarios_command", required=True)
+    scen_sub.add_parser(
+        "list", help="print every registered scenario and its knobs"
+    )
+    scen_run_p = scen_sub.add_parser(
+        "run",
+        help="run the method × scenario robustness matrix "
+        "(ACC/NMI/ARI grid)",
+    )
+    scen_run_p.add_argument(
+        "--scenarios",
+        default="",
+        help="comma-separated scenario names (default: all registered)",
+    )
+    scen_run_p.add_argument(
+        "--methods",
+        default="",
+        help="comma-separated matrix methods (default: "
+        "UMSC,AnchorMVSC,SparseMVSC,ConcatSC)",
+    )
+    scen_run_p.add_argument(
+        "--metrics",
+        default="acc,nmi,ari",
+        help="comma-separated metric names (default acc,nmi,ari)",
+    )
+    scen_run_p.add_argument("--runs", type=int, default=1)
+    scen_run_p.add_argument("--seed", type=int, default=0)
+    scen_run_p.add_argument(
+        "--samples",
+        type=int,
+        default=None,
+        metavar="N",
+        help="resize every scenario to N samples before generation",
+    )
+    scen_run_p.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny sizes (samples=80) — the CI smoke configuration",
+    )
+    scen_run_p.add_argument(
+        "--json",
+        dest="json_out",
+        default=None,
+        metavar="PATH",
+        help="also write the full matrix (scores, specs, errors) as JSON",
     )
     return parser
 
@@ -907,6 +965,75 @@ def _cmd_backends(args, out) -> int:
     return 0
 
 
+def _cmd_scenarios(args, out) -> int:
+    """``repro scenarios {list,run}`` — the robustness scenario factory."""
+    from repro.datasets.scenarios import available_scenarios, get_scenario
+    from repro.evaluation.scenario_matrix import (
+        format_matrix,
+        run_scenario_matrix,
+    )
+
+    if args.scenarios_command == "list":
+        rows = []
+        for name in available_scenarios():
+            spec = get_scenario(name)
+            rows.append(
+                [
+                    name,
+                    spec.n_samples,
+                    spec.n_views,
+                    spec.n_clusters,
+                    spec.knob_summary(),
+                ]
+            )
+        print(
+            format_rows(["scenario", "n", "views", "clusters", "knobs"], rows),
+            file=out,
+        )
+        print(f"{len(rows)} scenarios registered", file=out)
+        return 0
+    if args.scenarios_command == "run":
+        scenarios = [
+            s.strip() for s in args.scenarios.split(",") if s.strip()
+        ] or None
+        methods = [
+            m.strip() for m in args.methods.split(",") if m.strip()
+        ] or None
+        metrics = tuple(
+            m.strip() for m in args.metrics.split(",") if m.strip()
+        )
+        n_samples = 80 if args.quick else args.samples
+        matrix = run_scenario_matrix(
+            methods=methods,
+            scenarios=scenarios,
+            n_samples=n_samples,
+            n_runs=args.runs,
+            metrics=metrics,
+            base_seed=args.seed,
+        )
+        size = n_samples if n_samples is not None else "native"
+        print(
+            f"scenario matrix: {len(matrix.methods)} methods × "
+            f"{len(matrix.scenarios)} scenarios, {args.runs} run(s), "
+            f"samples={size}",
+            file=out,
+        )
+        for metric in matrix.metrics:
+            print(format_matrix(matrix, metric), file=out)
+            print("", file=out)
+        for method, scenario, error in matrix.failures:
+            print(f"FAILED {method} × {scenario}: {error}", file=out)
+        if args.json_out:
+            with open(args.json_out, "w", encoding="utf-8") as fh:
+                json.dump(matrix.to_dict(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote matrix JSON -> {args.json_out}", file=out)
+        return 0 if not matrix.failures else 1
+    raise AssertionError(
+        f"unhandled scenarios command {args.scenarios_command!r}"
+    )
+
+
 def _cmd_convergence(args, out) -> int:
     dataset = load_benchmark(args.dataset)
     curve = convergence_curve(
@@ -999,4 +1126,6 @@ def main(argv=None, out=None) -> int:
         return _cmd_bench(args, out)
     if args.command == "backends":
         return _cmd_backends(args, out)
+    if args.command == "scenarios":
+        return _cmd_scenarios(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

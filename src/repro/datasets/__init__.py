@@ -19,6 +19,14 @@ from repro.datasets.benchmarks import (
 )
 from repro.datasets.container import MultiViewDataset
 from repro.datasets.io import load_dataset, save_dataset
+from repro.datasets.scenarios import (
+    SCENARIOS,
+    Scenario,
+    ScenarioData,
+    available_scenarios,
+    generate,
+    get_scenario,
+)
 from repro.datasets.synth import (
     make_latent_clusters,
     make_multiview_blobs,
@@ -36,4 +44,10 @@ __all__ = [
     "make_latent_clusters",
     "make_multiview_blobs",
     "view_from_latent",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioData",
+    "available_scenarios",
+    "generate",
+    "get_scenario",
 ]

@@ -42,6 +42,7 @@ def make_latent_clusters(
     separation: float = 4.0,
     within_scatter: float = 1.0,
     balance: float = 1.0,
+    cluster_sizes=None,
     manifold: float = 0.0,
     random_state=None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -62,7 +63,15 @@ def make_latent_clusters(
         Isotropic within-cluster standard deviation.
     balance : float
         1.0 gives equal-size clusters; smaller values skew sizes via a
-        Dirichlet draw with concentration ``10 * balance``.
+        Dirichlet draw with concentration ``10 * balance``.  A draw whose
+        rounded size would leave a cluster empty (likely at small
+        ``n_samples`` with small ``balance``) raises
+        :class:`~repro.exceptions.ValidationError` instead of silently
+        redistributing samples.
+    cluster_sizes : sequence of int, optional
+        Explicit per-cluster sample counts (all ``>= 1``, summing to
+        ``n_samples``).  Overrides ``balance``; this is the deterministic
+        hook the scenario factory's imbalance knob uses.
     manifold : float
         Filament length.  0 gives isotropic Gaussian clusters (convex,
         K-means-friendly); positive values stretch each cluster along a
@@ -88,13 +97,43 @@ def make_latent_clusters(
         raise ValidationError(f"balance must be in (0, 1], got {balance}")
     rng = check_random_state(random_state)
 
-    if balance >= 1.0:
+    if cluster_sizes is not None:
+        sizes = np.asarray(cluster_sizes, dtype=np.int64)
+        if sizes.shape != (n_clusters,):
+            raise ValidationError(
+                f"cluster_sizes must have shape ({n_clusters},), "
+                f"got {sizes.shape}"
+            )
+        if sizes.min() < 1:
+            offender = int(np.argmin(sizes))
+            raise ValidationError(
+                f"cluster_sizes[{offender}] = {int(sizes[offender])} would "
+                f"leave cluster {offender} empty; every cluster needs >= 1 "
+                "sample"
+            )
+        if sizes.sum() != n_samples:
+            raise ValidationError(
+                f"cluster_sizes sums to {int(sizes.sum())}, "
+                f"expected n_samples = {n_samples}"
+            )
+    elif balance >= 1.0:
         sizes = np.full(n_clusters, n_samples // n_clusters)
         sizes[: n_samples % n_clusters] += 1
     else:
         probs = rng.dirichlet(np.full(n_clusters, 10.0 * balance))
-        sizes = np.maximum(1, np.round(probs * n_samples).astype(int))
-        # Fix rounding drift while keeping every cluster non-empty.
+        sizes = np.round(probs * n_samples).astype(int)
+        if sizes.min() < 1:
+            offender = int(np.argmin(sizes))
+            raise ValidationError(
+                f"balance={balance} left cluster {offender} with "
+                f"{int(sizes[offender])} samples (rounded from "
+                f"{probs[offender] * n_samples:.2f} of n_samples="
+                f"{n_samples}); increase n_samples or balance, or pass "
+                "explicit cluster_sizes"
+            )
+        # Fix rounding drift while keeping every cluster non-empty: the
+        # decrement always targets the current largest cluster, which has
+        # >= 2 samples whenever the total still exceeds n_samples.
         while sizes.sum() > n_samples:
             sizes[np.argmax(sizes)] -= 1
         while sizes.sum() < n_samples:

@@ -17,7 +17,10 @@ This package regenerates the paper's evaluation artifacts:
 * :mod:`repro.evaluation.stability` — co-association, consensus labels,
   and the mean-pairwise-ARI stability score;
 * :mod:`repro.evaluation.ascii_plots` — terminal renderings of the paper's
-  figures (bars, heatmaps, line plots).
+  figures (bars, heatmaps, line plots);
+* :mod:`repro.evaluation.scenario_matrix` — the method × scenario
+  robustness grid over the controlled scenario factory
+  (:mod:`repro.datasets.scenarios`).
 """
 
 from repro.evaluation.ascii_plots import bar_chart, heatmap, line_plot
@@ -47,6 +50,16 @@ from repro.evaluation.stability import (
     consensus_labels,
     stability_score,
 )
+from repro.evaluation.scenario_matrix import (
+    DEFAULT_MATRIX_METHODS,
+    DEFAULT_MATRIX_METRICS,
+    MatrixCell,
+    MatrixMethod,
+    ScenarioMatrix,
+    format_matrix,
+    matrix_method_registry,
+    run_scenario_matrix,
+)
 from repro.evaluation.sweeps import grid_sweep
 from repro.evaluation.tables import format_metric_table, format_rows
 
@@ -74,4 +87,12 @@ __all__ = [
     "render_report",
     "SelectionResult",
     "select_umsc_unsupervised",
+    "DEFAULT_MATRIX_METHODS",
+    "DEFAULT_MATRIX_METRICS",
+    "MatrixCell",
+    "MatrixMethod",
+    "ScenarioMatrix",
+    "format_matrix",
+    "matrix_method_registry",
+    "run_scenario_matrix",
 ]

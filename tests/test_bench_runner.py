@@ -90,6 +90,7 @@ class TestRunBenches:
             "graph_build",
             "predict_batch",
             "serving_throughput",
+            "scenario_matrix",
         }
         for description, _ in BENCHES.values():
             assert "bench_" in description

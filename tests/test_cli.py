@@ -342,3 +342,78 @@ class TestBackendsCommand:
         assert code == 0
         report = json.loads(path.read_text())
         assert report["machine"]["backend"] == "float32"
+
+
+class TestScenariosCommand:
+    def test_list_prints_registry(self):
+        out = io.StringIO()
+        assert main(["scenarios", "list"], out=out) == 0
+        text = out.getvalue()
+        for name in ("clean", "confused_pairs", "missing_views"):
+            assert name in text
+        assert "scenarios registered" in text
+        assert "knobs" in text
+
+    def test_run_quick_prints_one_grid_per_metric(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "scenarios",
+                "run",
+                "--quick",
+                "--scenarios",
+                "clean,confused_pairs",
+                "--methods",
+                "UMSC,ConcatSC",
+                "--runs",
+                "1",
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "2 methods × 2 scenarios" in text
+        for metric in ("acc", "nmi", "ari"):
+            assert f"{metric} \\ scenario" in text
+        assert "FAILED" not in text
+
+    def test_run_writes_json_artifact(self, tmp_path):
+        import json
+
+        out = io.StringIO()
+        path = tmp_path / "matrix.json"
+        code = main(
+            [
+                "scenarios",
+                "run",
+                "--quick",
+                "--scenarios",
+                "clean",
+                "--methods",
+                "ConcatSC",
+                "--metrics",
+                "acc",
+                "--json",
+                str(path),
+            ],
+            out=out,
+        )
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == 1
+        assert payload["cells"]["ConcatSC@clean"]["error"] is None
+        assert "acc" in payload["cells"]["ConcatSC@clean"]["scores"]
+        assert str(path) in out.getvalue()
+
+    def test_run_unknown_scenario_raises(self):
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError, match="unknown scenario"):
+            main(
+                ["scenarios", "run", "--scenarios", "nope"],
+                out=io.StringIO(),
+            )
+
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenarios"])

@@ -63,6 +63,40 @@ class TestMakeLatentClusters:
         with pytest.raises(ValidationError):
             make_latent_clusters(10, 2, manifold=-1.0)
 
+    def test_empty_cluster_from_extreme_balance_raises(self):
+        """Regression: a balance draw that rounds a cluster to zero used
+        to be silently clamped up to one sample; it must raise and name
+        the offending cluster instead."""
+        with pytest.raises(ValidationError, match="cluster 1 with 0 samples"):
+            make_latent_clusters(12, 4, balance=0.05, random_state=0)
+
+    def test_error_suggests_explicit_cluster_sizes(self):
+        with pytest.raises(ValidationError, match="cluster_sizes"):
+            make_latent_clusters(12, 4, balance=0.05, random_state=0)
+
+    def test_explicit_cluster_sizes_honoured(self):
+        _, labels, _ = make_latent_clusters(
+            12, 4, cluster_sizes=(6, 3, 2, 1), random_state=0
+        )
+        # The generator may relabel, but the size multiset is exact.
+        np.testing.assert_array_equal(
+            np.sort(np.bincount(labels, minlength=4)), [1, 2, 3, 6]
+        )
+
+    def test_cluster_sizes_validation(self):
+        with pytest.raises(ValidationError, match="shape"):
+            make_latent_clusters(12, 4, cluster_sizes=(6, 6))
+        with pytest.raises(ValidationError, match=">= 1"):
+            make_latent_clusters(12, 4, cluster_sizes=(6, 6, 0, 0))
+        with pytest.raises(ValidationError, match="sum"):
+            make_latent_clusters(12, 4, cluster_sizes=(6, 3, 2, 2))
+
+    def test_cluster_sizes_override_is_deterministic(self):
+        kwargs = dict(cluster_sizes=(10, 6, 4), random_state=7)
+        a = make_latent_clusters(20, 3, **kwargs)[0]
+        b = make_latent_clusters(20, 3, **kwargs)[0]
+        np.testing.assert_array_equal(a, b)
+
 
 class TestViewFromLatent:
     def setup_method(self):

@@ -1,0 +1,224 @@
+"""Tests for the method × scenario robustness matrix harness
+(:mod:`repro.evaluation.scenario_matrix`).
+
+The smoke grid is deliberately tiny (2 methods × 3 scenarios, small
+``n``) — the point is structural: the grid completes, every score is
+finite and in range, failures are recorded per cell rather than
+aborting the sweep, and on the ``confused_pairs`` scenario fusion beats
+the worst single view (the scenario's acceptance property).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.single_view import all_single_view_labels
+from repro.datasets.scenarios import Scenario, generate
+from repro.evaluation.scenario_matrix import (
+    DEFAULT_MATRIX_METHODS,
+    MatrixMethod,
+    format_matrix,
+    matrix_method_registry,
+    run_scenario_matrix,
+)
+from repro.exceptions import ValidationError
+from repro.metrics import evaluate_clustering
+
+SMOKE_METHODS = ("UMSC", "ConcatSC")
+SMOKE_SCENARIOS = ("clean", "confused_pairs", "missing_views")
+SMOKE_N = 70
+
+
+@pytest.fixture(scope="module")
+def smoke_matrix():
+    return run_scenario_matrix(
+        methods=SMOKE_METHODS,
+        scenarios=SMOKE_SCENARIOS,
+        n_samples=SMOKE_N,
+        n_runs=1,
+        strict=True,
+    )
+
+
+class TestSmokeGrid:
+    def test_grid_completes_with_finite_scores(self, smoke_matrix):
+        assert smoke_matrix.failures == []
+        for metric in ("acc", "nmi", "ari"):
+            grid = smoke_matrix.grid(metric)
+            assert grid.shape == (len(SMOKE_METHODS), len(SMOKE_SCENARIOS))
+            assert np.all(np.isfinite(grid))
+        # ACC and NMI live in [0, 1]; ARI may dip slightly below 0.
+        assert np.all(smoke_matrix.grid("acc") >= 0)
+        assert np.all(smoke_matrix.grid("acc") <= 1)
+        assert np.all(smoke_matrix.grid("ari") >= -0.5)
+
+    def test_cells_carry_timing_and_run_count(self, smoke_matrix):
+        for method in SMOKE_METHODS:
+            for scenario in SMOKE_SCENARIOS:
+                cell = smoke_matrix.cell(method, scenario)
+                assert cell.ok
+                assert cell.n_runs == 1
+                assert cell.seconds.mean >= 0
+
+    def test_fusion_beats_worst_single_view_on_confused_pairs(
+        self, smoke_matrix
+    ):
+        data = generate("confused_pairs", n_samples=SMOKE_N)
+        worst = min(
+            evaluate_clustering(data.labels, labels, metrics=("acc",))["acc"]
+            for labels in all_single_view_labels(
+                data.views, data.n_clusters, random_state=0
+            )
+        )
+        fused = smoke_matrix.cell("UMSC", "confused_pairs").scores["acc"]
+        assert fused.mean > worst
+
+    def test_format_marks_best_per_column(self, smoke_matrix):
+        text = format_matrix(smoke_matrix, "acc")
+        for name in SMOKE_METHODS + SMOKE_SCENARIOS:
+            assert name in text
+        # At least one best marker per scenario column (ties share it).
+        assert text.count("*") >= len(SMOKE_SCENARIOS)
+
+    def test_to_dict_is_json_ready(self, smoke_matrix):
+        import json
+
+        payload = smoke_matrix.to_dict()
+        assert payload["schema_version"] == 1
+        assert payload["methods"] == list(SMOKE_METHODS)
+        assert payload["scenarios"] == list(SMOKE_SCENARIOS)
+        cell = payload["cells"]["UMSC@clean"]
+        assert cell["error"] is None
+        assert set(cell["scores"]) == {"acc", "nmi", "ari"}
+        round_tripped = json.loads(json.dumps(payload))
+        assert round_tripped["scenario_specs"]["clean"]["name"] == "clean"
+
+    def test_unknown_cell_lookup_raises(self, smoke_matrix):
+        with pytest.raises(ValidationError, match="no cell"):
+            smoke_matrix.cell("UMSC", "nope")
+        with pytest.raises(ValidationError, match="not in the matrix"):
+            smoke_matrix.grid("purity")
+
+
+class TestRegistryAndValidation:
+    def test_registry_contains_core_and_baseline_rows(self):
+        registry = matrix_method_registry()
+        for name in DEFAULT_MATRIX_METHODS:
+            assert name in registry
+        assert registry["IncompleteMVSC"].mask_aware
+        assert not registry["UMSC"].mask_aware
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValidationError, match="unknown matrix methods"):
+            run_scenario_matrix(methods=("nope",), scenarios=("clean",))
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValidationError, match="unknown scenario"):
+            run_scenario_matrix(methods=("UMSC",), scenarios=("nope",))
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValidationError, match="unknown metrics"):
+            run_scenario_matrix(
+                methods=("UMSC",), scenarios=("clean",), metrics=("woo",)
+            )
+
+    def test_bad_n_runs_rejected(self):
+        with pytest.raises(ValidationError, match="n_runs"):
+            run_scenario_matrix(
+                methods=("UMSC",), scenarios=("clean",), n_runs=0
+            )
+
+    def test_duplicate_scenario_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate scenario"):
+            run_scenario_matrix(
+                methods=("UMSC",), scenarios=("clean", "clean")
+            )
+
+    def test_inline_scenario_objects_accepted(self):
+        spec = Scenario(
+            name="inline",
+            n_samples=50,
+            n_clusters=3,
+            view_dims=(6, 6),
+            latent_dim=4,
+        )
+        matrix = run_scenario_matrix(
+            methods=("ConcatSC",), scenarios=(spec,), strict=True
+        )
+        assert matrix.scenarios == ["inline"]
+        assert matrix.cell("ConcatSC", "inline").ok
+
+
+class TestMaskAwareAndFailures:
+    def test_incomplete_method_consumes_masks(self):
+        matrix = run_scenario_matrix(
+            methods=("IncompleteMVSC",),
+            scenarios=("missing_views",),
+            n_samples=SMOKE_N,
+            strict=True,
+        )
+        cell = matrix.cell("IncompleteMVSC", "missing_views")
+        assert cell.ok
+        assert np.isfinite(cell.scores["acc"].mean)
+
+    def test_mask_aware_method_runs_on_complete_scenario(self):
+        matrix = run_scenario_matrix(
+            methods=("IncompleteMVSC",),
+            scenarios=("clean",),
+            n_samples=50,
+            strict=True,
+        )
+        assert matrix.cell("IncompleteMVSC", "clean").ok
+
+    def test_cell_failure_recorded_not_raised(self):
+        registry = matrix_method_registry()
+
+        def broken(c, rs):
+            raise ValidationError("wired to fail")
+
+        failing = MatrixMethod("Broken", broken)
+        # Drive _run_cell through the public API via an inline registry
+        # patch: run with a method list containing the broken row.
+        import repro.evaluation.scenario_matrix as sm
+
+        original = sm.matrix_method_registry
+        registry["Broken"] = failing
+        sm.matrix_method_registry = lambda: registry
+        try:
+            matrix = run_scenario_matrix(
+                methods=("Broken", "ConcatSC"),
+                scenarios=("clean",),
+                n_samples=50,
+            )
+        finally:
+            sm.matrix_method_registry = original
+        cell = matrix.cell("Broken", "clean")
+        assert not cell.ok
+        assert "wired to fail" in cell.error
+        assert matrix.cell("ConcatSC", "clean").ok
+        assert ("Broken", "clean", cell.error) in matrix.failures
+        assert np.isnan(matrix.grid("acc")[0, 0])
+        assert "ERR" in format_matrix(matrix, "acc")
+
+    def test_strict_reraises_first_failure(self):
+        registry = matrix_method_registry()
+
+        def broken(c, rs):
+            raise ValidationError("wired to fail")
+
+        import repro.evaluation.scenario_matrix as sm
+
+        original = sm.matrix_method_registry
+        registry["Broken"] = MatrixMethod("Broken", broken)
+        sm.matrix_method_registry = lambda: registry
+        try:
+            with pytest.raises(ValidationError, match="wired to fail"):
+                run_scenario_matrix(
+                    methods=("Broken",),
+                    scenarios=("clean",),
+                    n_samples=50,
+                    strict=True,
+                )
+        finally:
+            sm.matrix_method_registry = original
