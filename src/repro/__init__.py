@@ -76,6 +76,13 @@ from repro.robust import (
     use_policy,
 )
 from repro.serving import ModelArtifact, PredictionService, Predictor
+from repro.streaming import (
+    DriftDetector,
+    DriftEvent,
+    ObjectiveShiftDetector,
+    StreamingMVSC,
+    ViewWeightShiftDetector,
+)
 
 __version__ = "1.0.0"
 
@@ -132,5 +139,10 @@ __all__ = [
     "inject_faults",
     "registered_fault_sites",
     "use_policy",
+    "StreamingMVSC",
+    "DriftDetector",
+    "DriftEvent",
+    "ObjectiveShiftDetector",
+    "ViewWeightShiftDetector",
     "__version__",
 ]

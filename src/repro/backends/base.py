@@ -182,6 +182,53 @@ class ArrayBackend:
         """Locally scaled map ``exp(-d2_ij / (sigma_i sigma_j))``."""
         return np.exp(-d2 / np.outer(sigma, sigma))
 
+    # -- anchor-graph kernels ----------------------------------------------
+
+    def anchor_can_weights(self, d2: np.ndarray, k: int) -> np.ndarray:
+        """Row-stochastic CAN weights from sample-to-anchor distances.
+
+        The body of :func:`repro.graph.anchor.anchor_assignment` after
+        the distance computation: connect each sample to its ``k``
+        nearest anchors with the CAN closed-form weights (exact simplex
+        rows).  ``d2`` is a validated ``(n, m)`` squared-distance
+        matrix; ``k == m`` degenerates to a projected full-row weight.
+        """
+        from repro.graph.adaptive import simplex_projection_rowwise
+
+        d2 = self.prepare(d2)
+        n, m = d2.shape
+        if k == m:
+            return simplex_projection_rowwise(
+                -d2 / max(float(d2.mean()), 1e-12)
+            )
+        order = np.argsort(d2, axis=1)
+        rows = np.arange(n)[:, None]
+        nearest = order[:, : k + 1]
+        d_sorted = d2[rows, nearest]
+        d_k = d_sorted[:, k]
+        d_topk = d_sorted[:, :k]
+        denom = k * d_k - np.sum(d_topk, axis=1)
+        eps = np.finfo(self.compute_dtype).eps
+        denom = np.where(denom > eps, denom, eps)
+        vals = (d_k[:, None] - d_topk) / denom[:, None]
+        vals = simplex_projection_rowwise(vals)
+        z = np.zeros((n, m), dtype=vals.dtype)
+        z[rows, nearest[:, :k]] = vals
+        return z
+
+    def anchor_affinity_factor(self, z: np.ndarray) -> np.ndarray:
+        """Column-mass normalization ``B = Z Lambda^{-1/2}`` of a
+        validated assignment matrix (see
+        :func:`repro.graph.anchor.anchor_affinity_factor`)."""
+        z = self.prepare(z)
+        col_mass = z.sum(axis=0)
+        inv_sqrt = np.where(
+            col_mass > 0,
+            1.0 / np.sqrt(np.maximum(col_mass, 1e-300)),
+            0.0,
+        )
+        return z * inv_sqrt[None, :]
+
     def kernel_vote_scores(
         self,
         d2: np.ndarray,
@@ -228,6 +275,27 @@ class ArrayBackend:
         values, vectors = scipy.linalg.eigh(
             self.prepare(a), subset_by_index=(lo, hi)
         )
+        return (
+            np.asarray(values, dtype=np.float64),
+            np.asarray(vectors, dtype=np.float64),
+        )
+
+    # -- sparse eigensolver entry point ------------------------------------
+
+    def eigsh_lanczos(
+        self, a, k: int, which: str
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``k`` extremal eigenpairs of a symmetric *sparse* matrix via
+        ARPACK Lanczos (:func:`scipy.sparse.linalg.eigsh`).
+
+        Reduced-precision backends run the matvecs in their
+        ``compute_dtype`` (ARPACK's workspace follows the operand dtype)
+        but always hand back float64 pairs like the dense entry points;
+        the reference backend is the historical plain-float64 call.
+        """
+        import scipy.sparse.linalg
+
+        values, vectors = scipy.sparse.linalg.eigsh(a, k=k, which=which)
         return (
             np.asarray(values, dtype=np.float64),
             np.asarray(vectors, dtype=np.float64),

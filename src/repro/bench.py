@@ -202,6 +202,40 @@ def _bench_scenario_matrix(quick: bool):
     return work
 
 
+def _bench_streaming(quick: bool):
+    """Drift-aware streaming replay (mirrors ``bench_streaming``).
+
+    Times the full per-batch protocol — fold-in, drift detection, and
+    the refit the injected shift provokes — so a regression in the
+    incremental path (or a detector that starts refitting every batch)
+    shows up as wall-clock, not just as a logic bug.
+    """
+    from repro.core.anchor_model import AnchorMVSC
+    from repro.datasets.scenarios import (
+        StreamDrift,
+        get_scenario,
+        stream_batches,
+    )
+    from repro.streaming import StreamingMVSC
+
+    n_batches = 4 if quick else 8
+    batch_size = 70 if quick else 150
+    scenario = get_scenario("confused_pairs").with_size(batch_size)
+    drift = StreamDrift(
+        at_batch=n_batches - 2, mean_shift=4.0, imbalance=5.0
+    )
+    batches = stream_batches(scenario, n_batches, drift=drift, random_state=0)
+
+    def work():
+        streamer = StreamingMVSC(
+            AnchorMVSC(scenario.n_clusters, random_state=0)
+        )
+        for batch in batches:
+            streamer.partial_fit(batch.views)
+
+    return work
+
+
 #: The declared tracked subset: ``{name: (description, factory)}``.
 #: Each factory takes ``quick`` and returns the zero-argument timed body.
 BENCHES: dict = {
@@ -228,6 +262,10 @@ BENCHES: dict = {
     "scenario_matrix": (
         "method × scenario robustness grid (bench_scenario_matrix)",
         _bench_scenario_matrix,
+    ),
+    "streaming": (
+        "drift-aware incremental batch replay (bench_streaming)",
+        _bench_streaming,
     ),
 }
 

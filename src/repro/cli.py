@@ -45,7 +45,14 @@ Six subcommands mirror the evaluation artifacts:
   the method × scenario matrix
   (:mod:`repro.evaluation.scenario_matrix`) and prints one ACC/NMI/ARI
   grid per metric (``--quick`` for the CI smoke size, ``--json`` for
-  the machine-readable artifact).
+  the machine-readable artifact);
+* ``stream``      — replay a scenario as a deterministic batch stream
+  (:func:`repro.datasets.scenarios.stream_batches`) through the
+  drift-aware incremental model (:mod:`repro.streaming`), printing one
+  row per batch (action taken, ACC/NMI/ARI against the accumulated
+  ground truth, wall-clock, firing drift detectors); ``--drift-at``
+  injects a mid-stream distribution shift, ``--json`` dumps the typed
+  per-batch records.
 
 ``run`` exposes the observability layer: ``--verbose`` streams one line
 per solver iteration to stderr, ``--trace PATH`` writes the spans and
@@ -450,6 +457,83 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the full matrix (scores, specs, errors) as JSON",
     )
+
+    stream_p = sub.add_parser(
+        "stream",
+        help="replay a scenario as a batch stream through the "
+        "drift-aware incremental model",
+    )
+    stream_p.add_argument(
+        "scenario", help="scenario name (see `repro scenarios list`)"
+    )
+    stream_p.add_argument(
+        "--batches", type=int, default=8, help="batches to replay (default 8)"
+    )
+    stream_p.add_argument(
+        "--samples",
+        type=int,
+        default=None,
+        metavar="N",
+        help="samples per batch (default: the scenario's native size)",
+    )
+    stream_p.add_argument(
+        "--drift-at",
+        type=int,
+        default=None,
+        metavar="BATCH",
+        help="inject a distribution shift starting at this batch "
+        "(default: stationary stream)",
+    )
+    stream_p.add_argument(
+        "--drift-mean-shift",
+        type=float,
+        default=3.0,
+        metavar="S",
+        help="latent cluster-mean displacement of the injected shift "
+        "(default 3.0)",
+    )
+    stream_p.add_argument(
+        "--drift-imbalance",
+        type=float,
+        default=None,
+        metavar="R",
+        help="post-shift cluster-imbalance ratio (default: unchanged)",
+    )
+    stream_p.add_argument(
+        "--anchors",
+        type=int,
+        default=0,
+        metavar="M",
+        help="anchors per view (0 = size heuristic)",
+    )
+    stream_p.add_argument(
+        "--refine-iters",
+        type=int,
+        default=None,
+        metavar="N",
+        help="alternations per fold-in (default: StreamingConfig default)",
+    )
+    stream_p.add_argument(
+        "--no-drift-detect",
+        action="store_true",
+        help="stream with the drift detectors off (every batch folds in)",
+    )
+    stream_p.add_argument("--seed", type=int, default=0)
+    stream_p.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny stream (4 batches x 80 samples) — the CI smoke "
+        "configuration",
+    )
+    stream_p.add_argument(
+        "--json",
+        dest="json_out",
+        default=None,
+        metavar="PATH",
+        help="also write the per-batch records (actions, metrics, drift "
+        "events) as JSON",
+    )
+    _add_pipeline_args(stream_p)
     return parser
 
 
@@ -1034,6 +1118,144 @@ def _cmd_scenarios(args, out) -> int:
     )
 
 
+def _cmd_stream(args, out) -> int:
+    """``repro stream`` — replay a batch schedule through StreamingMVSC."""
+    from repro.core.anchor_model import AnchorMVSC
+    from repro.core.config import StreamingConfig
+    from repro.datasets.scenarios import (
+        StreamDrift,
+        get_scenario,
+        stream_batches,
+    )
+    from repro.metrics import (
+        adjusted_rand_index,
+        clustering_accuracy,
+        normalized_mutual_information,
+    )
+    from repro.streaming import StreamingMVSC
+
+    spec = get_scenario(args.scenario)
+    n_batches = 4 if args.quick else args.batches
+    batch_size = args.samples
+    if args.quick and batch_size is None:
+        batch_size = 80
+    if batch_size is not None:
+        spec = spec.with_size(batch_size)
+    drift = None
+    if args.drift_at is not None:
+        drift = StreamDrift(
+            at_batch=args.drift_at,
+            mean_shift=args.drift_mean_shift,
+            imbalance=args.drift_imbalance,
+        )
+    batches = stream_batches(
+        spec, n_batches, drift=drift, random_state=args.seed
+    )
+    config = (
+        StreamingConfig()
+        if args.refine_iters is None
+        else StreamingConfig(refine_iters=args.refine_iters)
+    )
+    with ExitStack() as stack:
+        cache = _pipeline_context(args, stack)
+        streamer = StreamingMVSC(
+            AnchorMVSC(
+                spec.n_clusters,
+                n_anchors=args.anchors,
+                random_state=args.seed,
+            ),
+            config=config,
+            detectors=() if args.no_drift_detect else None,
+        )
+        rows = []
+        records = []
+        truth_parts = []
+        for batch in batches:
+            labels = streamer.partial_fit(batch.views)
+            truth_parts.append(batch.labels)
+            truth = np.concatenate(truth_parts)
+            record = streamer.history[-1]
+            scores = {
+                "acc": clustering_accuracy(truth, labels),
+                "nmi": normalized_mutual_information(truth, labels),
+                "ari": adjusted_rand_index(truth, labels),
+            }
+            fired = (
+                ";".join(
+                    f"{e.kind}({e.severity:.2f})" for e in record.events
+                )
+                or "-"
+            )
+            rows.append(
+                [
+                    batch.index,
+                    record.n_new,
+                    record.n_total,
+                    "yes" if batch.drifted else "",
+                    record.action,
+                    f"{scores['acc']:.3f}",
+                    f"{scores['nmi']:.3f}",
+                    f"{scores['ari']:.3f}",
+                    f"{record.seconds:.2f}",
+                    fired,
+                ]
+            )
+            records.append({**record.to_dict(), **scores})
+    drifted = "stationary" if drift is None else f"drift at batch {drift.at_batch}"
+    print(
+        f"stream: {spec.name} x {n_batches} batches of "
+        f"{spec.n_samples} samples ({drifted}), seed={args.seed}",
+        file=out,
+    )
+    print(
+        format_rows(
+            [
+                "batch",
+                "new",
+                "total",
+                "drifted",
+                "action",
+                "acc",
+                "nmi",
+                "ari",
+                "sec",
+                "detectors",
+            ],
+            rows,
+        ),
+        file=out,
+    )
+    total_seconds = sum(r.seconds for r in streamer.history)
+    refits = sum(
+        1 for r in streamer.history if r.action in ("partial_refit", "full_refit")
+    )
+    print(
+        f"total {total_seconds:.2f}s, {refits} refit(s), "
+        f"{len(streamer.events)} drift event(s)",
+        file=out,
+    )
+    _print_cache_summary(cache, out)
+    if args.json_out:
+        payload = {
+            "scenario": spec.to_dict(),
+            "n_batches": n_batches,
+            "seed": args.seed,
+            "drift": None
+            if drift is None
+            else {
+                "at_batch": drift.at_batch,
+                "mean_shift": drift.mean_shift,
+                "imbalance": drift.imbalance,
+            },
+            "records": records,
+        }
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote stream JSON -> {args.json_out}", file=out)
+    return 0
+
+
 def _cmd_convergence(args, out) -> int:
     dataset = load_benchmark(args.dataset)
     curve = convergence_curve(
@@ -1128,4 +1350,6 @@ def main(argv=None, out=None) -> int:
         return _cmd_backends(args, out)
     if args.command == "scenarios":
         return _cmd_scenarios(args, out)
+    if args.command == "stream":
+        return _cmd_stream(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

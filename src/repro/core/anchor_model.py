@@ -16,16 +16,36 @@ Rotation, discrete assignment, and view weighting reuse the exact same
 machinery as :class:`~repro.core.model.UnifiedMVSC`; the lam-coupling is
 dropped (the factored eigensolver cannot absorb the linear term cheaply),
 making this the spectral-rotation end of the framework at scale.
+
+Streaming
+---------
+The factored form is what makes *incremental* fitting cheap: appending a
+batch of rows only appends rows to each ``Z_v`` (one ``(b, m)`` anchor
+assignment per view against the *frozen* anchors), after which the fused
+embedding is again an ``O(n (Vm)^2)`` Gram eigendecomposition — no
+eigensolve ever sees an ``n x n`` matrix, and no anchor is re-selected.
+:meth:`AnchorMVSC.partial_fit` implements this fold-in: assign new rows to
+the stored anchors, warm-start the F/Y refinement from the previous
+labels (rotation fitted on the *old* rows only, so new rows cannot drag
+the alignment), and run a couple of cheap alternations.  When drift makes
+the fold-in stale, :meth:`partial_refit` re-runs the full alternation on
+the accumulated factors (anchors and ``Z`` reused), and :meth:`refit`
+replays a cold fit on the accumulated views (anchors re-selected).  The
+fold-in runs under the ``streaming.partial_fit`` fault site with a
+full-refit fallback; both refit flavours run under ``streaming.refit``.
+State is committed only after a fold-in/refit fully succeeds, so a failed
+attempt never corrupts the running state.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import nullcontext
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.backends import get_backend, use_backend
+from repro.backends import current_backend, get_backend, use_backend
 from repro.core.discrete import (
     indicator_coordinate_descent,
     rotation_initialize,
@@ -42,12 +62,13 @@ from repro.graph.anchor import (
     anchor_assignment,
     select_anchors,
 )
+from repro.graph.distance import pairwise_sq_euclidean
 from repro.linalg.procrustes import nearest_orthogonal
 from repro.observability.events import IterationEvent, dispatch_event
-from repro.observability.trace import span
+from repro.observability.trace import metric_inc, span
 from repro.pipeline.cache import memoized_parallel
 from repro.robust.faults import maybe_inject, register_fault_site
-from repro.robust.policy import failure_guard
+from repro.robust.policy import failure_guard, run_with_policy
 from repro.utils.rng import check_random_state
 from repro.utils.validation import check_views
 
@@ -56,6 +77,17 @@ _SITE_FIT = register_fault_site(
     "whole UnifiedMVSC/AnchorMVSC/SparseMVSC fit body (outer guard)",
     modes=("raise", "delay"),
 )
+_SITE_PARTIAL = register_fault_site(
+    "streaming.partial_fit",
+    "AnchorMVSC.partial_fit fold-in (retried, then full-refit fallback)",
+)
+_SITE_REFIT = register_fault_site(
+    "streaming.refit",
+    "streaming partial/full refit on the accumulated stream",
+)
+
+#: Cheap-fold-in refinement alternations when ``refine_iters`` is omitted.
+DEFAULT_REFINE_ITERS = 2
 
 
 def _top_left_singular(b: np.ndarray, c: int) -> np.ndarray:
@@ -65,6 +97,36 @@ def _top_left_singular(b: np.ndarray, c: int) -> np.ndarray:
     order = np.argsort(values)[::-1][:c]
     vals = np.maximum(values[order], 1e-300)
     return (b @ vectors[:, order]) / np.sqrt(vals)[None, :]
+
+
+def _anchor_coverage(views, anchor_sets) -> float:
+    """Mean nearest-anchor squared distance, averaged over views.
+
+    The streaming drift signal: for a stationary stream this statistic
+    is flat across batches (each batch is a fresh draw from the
+    distribution the anchors were selected on), while a distribution
+    shift moves new rows away from every frozen anchor and the
+    statistic jumps *at the shifted batch* — unlike the cumulative
+    alternation objective, which grows with ``n`` regardless.
+    """
+    costs = [
+        float(pairwise_sq_euclidean(x, a).min(axis=1).mean())
+        for x, a in zip(views, anchor_sets)
+    ]
+    return float(np.mean(costs))
+
+
+@dataclass(frozen=True)
+class _StreamFit:
+    """Result of one (re)fit attempt, committed only on success."""
+
+    labels: np.ndarray
+    weights: np.ndarray
+    anchors: list
+    assignments: list
+    objective: float
+    batch_cost: float
+    n_iter: int
 
 
 class AnchorMVSC(ServableModelMixin):
@@ -102,6 +164,29 @@ class AnchorMVSC(ServableModelMixin):
         Listeners receiving one :class:`~repro.observability.events.
         IterationEvent` per outer iteration (see
         :mod:`repro.observability`).
+
+    Attributes
+    ----------
+    labels_ : ndarray of shape (n_seen,)
+        Labels for every sample seen so far (set by any fit flavour).
+    view_weights_ : ndarray of shape (n_views,)
+        Learned view weights (running state across partial fits).
+    anchors_ : tuple of ndarray
+        Per-view anchor sets frozen at the last cold fit; reused by
+        :meth:`partial_fit` and :meth:`partial_refit`.
+    objective_ : float
+        Weighted view-disagreement ``sum_v mult_v (c - ||B_v^T F||^2)``
+        at the last alternation.  Grows with ``n`` (the embedding is
+        orthonormal over more rows), so it is reported, not used as the
+        drift signal.
+    batch_cost_ : float
+        Mean nearest-anchor squared distance of the *latest* batch
+        (whole training set after a cold fit) — flat on a stationary
+        stream, jumps at a distribution shift; the scalar the
+        objective-shift drift detector watches.
+    n_seen_ : int
+        Total samples accumulated across the initial fit and all
+        partial fits.
 
     Examples
     --------
@@ -146,6 +231,7 @@ class AnchorMVSC(ServableModelMixin):
         self.backend = None if backend is None else get_backend(backend).name
         self.random_state = random_state
         self.callbacks = tuple(callbacks)
+        self._stream: dict | None = None
 
     def __repr__(self) -> str:
         return (
@@ -157,6 +243,7 @@ class AnchorMVSC(ServableModelMixin):
         )
 
     def _serving_config(self) -> dict:
+        seed = self.random_state
         return {
             "n_clusters": self.n_clusters,
             "n_anchors": self.n_anchors,
@@ -165,7 +252,13 @@ class AnchorMVSC(ServableModelMixin):
             "weighting": self.weighting,
             "max_iter": self.max_iter,
             "n_restarts": self.n_restarts,
+            "anchor_seed": int(seed) if isinstance(seed, (int, np.integer)) else None,
         }
+
+    def _backend_ctx(self):
+        return (
+            nullcontext() if self.backend is None else use_backend(self.backend)
+        )
 
     def fit_predict(self, views) -> np.ndarray:
         """Cluster raw multi-view features at anchor-graph cost.
@@ -173,16 +266,19 @@ class AnchorMVSC(ServableModelMixin):
         Runs under the unified failure guard: only
         :class:`~repro.exceptions.ReproError` subclasses can escape.
         """
-        backend_ctx = (
-            nullcontext() if self.backend is None else use_backend(self.backend)
-        )
-        with backend_ctx, failure_guard(_SITE_FIT):
+        with self._backend_ctx(), failure_guard(_SITE_FIT):
             maybe_inject(_SITE_FIT)
             return self._fit_predict(views)
 
     def _fit_predict(self, views) -> np.ndarray:
         """Body of :meth:`fit_predict`, run under the failure guard."""
         views = check_views(views)
+        result = self._full_fit(views)
+        self._commit(views, result)
+        return result.labels
+
+    def _full_fit(self, views) -> _StreamFit:
+        """Cold fit on ``views``: select anchors, assign, alternate."""
         n = views[0].shape[0]
         c = self.n_clusters
         if c > n:
@@ -204,30 +300,65 @@ class AnchorMVSC(ServableModelMixin):
         )
         with span("graph_build", n_views=len(views), n_anchors=m):
             # Anchor selection consumes the shared rng, so it runs
-            # serially; the assignment/factor step is a pure function of
-            # (view, anchors) and is cached and parallelized.
+            # serially; the assignment step is a pure function of
+            # (view, anchors) and is cached and parallelized.  The
+            # assignments (not the factors) are kept: partial_fit
+            # appends rows to Z and renormalizes, which cannot be done
+            # from B alone.
             anchor_sets = [
                 select_anchors(x, m, random_state=rng) for x in views
             ]
-            factors = memoized_parallel(
+            assignments = memoized_parallel(
                 list(zip(views, anchor_sets)),
-                lambda pair: anchor_affinity_factor(
-                    anchor_assignment(
-                        pair[0], pair[1], k=self.n_anchor_neighbors
-                    )
+                lambda pair: anchor_assignment(
+                    pair[0], pair[1], k=self.n_anchor_neighbors
                 ),
-                namespace="anchor_factor",
+                namespace="anchor_assignment",
                 key_arrays=lambda pair: pair,
                 key_params={"k": int(self.n_anchor_neighbors)},
                 n_jobs=self.n_jobs,
             )
+            factors = [anchor_affinity_factor(z) for z in assignments]
 
         n_views = len(factors)
         w = np.full(n_views, 1.0 / n_views)
-        labels = None
-        f = None
+        labels, w, objective, n_iter = self._alternate(
+            factors, c, None, w, rng, max_iter=self.max_iter
+        )
+        dispatch_event(
+            self.callbacks,
+            "on_fit_end",
+            {"solver": type(self).__name__, "n_iter": n_iter},
+        )
+        return _StreamFit(
+            labels=labels,
+            weights=w,
+            anchors=list(anchor_sets),
+            assignments=list(assignments),
+            objective=objective,
+            batch_cost=_anchor_coverage(views, anchor_sets),
+            n_iter=n_iter,
+        )
+
+    def _alternate(
+        self,
+        factors,
+        c: int,
+        labels,
+        w: np.ndarray,
+        rng,
+        *,
+        max_iter: int,
+    ) -> tuple[np.ndarray, np.ndarray, float, int]:
+        """F/Y/w alternations; ``labels=None`` cold-starts via rotation.
+
+        Returns ``(labels, weights, objective, n_iter)`` where the
+        objective is the weighted view disagreement at the last
+        iteration.
+        """
+        objective = 0.0
         n_iter = 0
-        for n_iter in range(1, self.max_iter + 1):
+        for n_iter in range(1, max_iter + 1):
             block_seconds: dict[str, float] = {}
             tick = time.perf_counter()
             with span("f_step", iteration=n_iter):
@@ -267,6 +398,7 @@ class AnchorMVSC(ServableModelMixin):
                     np.maximum(h, 0.0), mode=self.weighting, gamma=self.gamma
                 )
             block_seconds["w_step"] = time.perf_counter() - tick
+            objective = float(np.dot(multipliers, np.maximum(h, 0.0)))
             weights_converged = np.allclose(new_w, w, atol=1e-10)
             w = new_w
             dispatch_event(
@@ -282,11 +414,254 @@ class AnchorMVSC(ServableModelMixin):
             )
             if weights_converged:
                 break
-        dispatch_event(
-            self.callbacks,
-            "on_fit_end",
-            {"solver": type(self).__name__, "n_iter": n_iter},
-        )
         assert labels is not None
-        self._remember_fit(views, labels, w, c, DEFAULT_SERVING_NEIGHBORS)
-        return labels
+        return labels, w, objective, n_iter
+
+    # -- streaming ---------------------------------------------------------
+
+    def _commit(self, views, fit: _StreamFit) -> None:
+        """Publish a successful fit as the running streaming state."""
+        views = [np.asarray(v) for v in views]
+        self._stream = {
+            "views": views,
+            "anchors": fit.anchors,
+            "z": fit.assignments,
+            "labels": fit.labels,
+            "weights": fit.weights,
+        }
+        self.labels_ = fit.labels
+        self.view_weights_ = fit.weights
+        self.anchors_ = tuple(fit.anchors)
+        self.objective_ = fit.objective
+        self.batch_cost_ = fit.batch_cost
+        self.n_seen_ = int(fit.labels.shape[0])
+        self.n_iter_ = fit.n_iter
+        extras = {
+            f"anchors_view_{i}": a for i, a in enumerate(fit.anchors)
+        }
+        self._remember_fit(
+            views,
+            fit.labels,
+            fit.weights,
+            self.n_clusters,
+            DEFAULT_SERVING_NEIGHBORS,
+            extras=extras,
+        )
+
+    def _check_stream_batch(self, views_new):
+        """Validate an incoming batch against the running state."""
+        state = self._stream
+        assert state is not None
+        views_new = check_views(views_new)
+        if len(views_new) != len(state["views"]):
+            raise ValidationError(
+                f"partial_fit batch has {len(views_new)} views; the fitted "
+                f"stream has {len(state['views'])}"
+            )
+        for i, (x_new, x_old) in enumerate(zip(views_new, state["views"])):
+            if x_new.shape[1] != x_old.shape[1]:
+                raise ValidationError(
+                    f"view {i} of the batch has {x_new.shape[1]} features; "
+                    f"the fitted stream has {x_old.shape[1]}"
+                )
+        return views_new
+
+    def partial_fit(self, views, *, refine_iters: int | None = None) -> np.ndarray:
+        """Fold a new batch of rows into the fitted model incrementally.
+
+        The first call (unfitted model) is exactly :meth:`fit_predict`.
+        Subsequent calls assign the new rows to the *frozen* per-view
+        anchors, renormalize the accumulated ``Z_v``, warm-start the
+        rotation from the previous labels (fitted on the old rows only),
+        and run ``refine_iters`` cheap alternations — no anchor
+        re-selection and no cold eigensolve.  View weights carry over as
+        running state.
+
+        Runs under the ``streaming.partial_fit`` fault site: a failing
+        fold-in is retried and then falls back to a full refit on the
+        accumulated views.  State is committed only on success, so a
+        failed attempt leaves the model at its previous fit.
+
+        Parameters
+        ----------
+        views : sequence of ndarray
+            One ``(batch, d_v)`` matrix per view, feature dimensions
+            matching the initial fit.
+        refine_iters : int, optional
+            Alternations after the warm start (default
+            :data:`DEFAULT_REFINE_ITERS`).
+
+        Returns
+        -------
+        ndarray of shape (n_seen,)
+            Labels for *all* samples seen so far (old rows may move
+            during refinement).
+        """
+        if self._stream is None:
+            return self.fit_predict(views)
+        iters = DEFAULT_REFINE_ITERS if refine_iters is None else int(refine_iters)
+        if iters < 1:
+            raise ValidationError(f"refine_iters must be >= 1, got {iters}")
+        with self._backend_ctx(), failure_guard(_SITE_PARTIAL):
+            views_new = self._check_stream_batch(views)
+            union = [
+                np.vstack([x_old, x_new])
+                for x_old, x_new in zip(self._stream["views"], views_new)
+            ]
+            metric_inc("streaming.partial_fit.calls")
+            result = run_with_policy(
+                _SITE_PARTIAL,
+                lambda perturb: self._fold_in(views_new, iters),
+                fallbacks=(
+                    ("refit", lambda: self._fallback_refit(union)),
+                ),
+            )
+            self._commit(union, result)
+            return result.labels
+
+    def _fold_in(self, views_new, refine_iters: int) -> _StreamFit:
+        """Pure fold-in attempt: extend Z, warm-start F/Y, refine."""
+        state = self._stream
+        assert state is not None
+        c = self.n_clusters
+        batch = views_new[0].shape[0]
+        backend = current_backend()
+        with span(
+            "streaming.fold_in",
+            batch=batch,
+            n_seen=int(state["labels"].shape[0]),
+            backend=backend.name,
+        ):
+            z_full = [
+                np.vstack(
+                    [
+                        z_old,
+                        anchor_assignment(
+                            x_new, anchors, k=self.n_anchor_neighbors
+                        ),
+                    ]
+                )
+                for z_old, x_new, anchors in zip(
+                    state["z"], views_new, state["anchors"]
+                )
+            ]
+            factors = [anchor_affinity_factor(z) for z in z_full]
+
+            # Warm start: embed under the carried-over weights, align the
+            # rotation on the old rows only (new rows have no labels yet),
+            # then extend the labels by nearest cluster and refine.
+            w = np.asarray(state["weights"], dtype=np.float64).copy()
+            multipliers = weight_exponents(
+                w, mode=self.weighting, gamma=self.gamma
+            )
+            multipliers = multipliers / np.sum(multipliers)
+            stacked = np.hstack(
+                [np.sqrt(mv) * b for mv, b in zip(multipliers, factors)]
+            )
+            f = _top_left_singular(stacked, c)
+            labels_old = state["labels"]
+            n_old = labels_old.shape[0]
+            rot = nearest_orthogonal(
+                f[:n_old].T @ scaled_indicator(labels_old, c)
+            )
+            scores = f @ rot
+            start = np.concatenate(
+                [labels_old, np.argmax(scores[n_old:], axis=1)]
+            )
+            labels = indicator_coordinate_descent(scores, start, c)
+        labels, w, objective, n_iter = self._alternate(
+            factors, c, labels, w, None, max_iter=refine_iters
+        )
+        return _StreamFit(
+            labels=labels,
+            weights=w,
+            anchors=state["anchors"],
+            assignments=z_full,
+            objective=objective,
+            batch_cost=_anchor_coverage(views_new, state["anchors"]),
+            n_iter=n_iter,
+        )
+
+    def _fallback_refit(self, union) -> _StreamFit:
+        metric_inc("streaming.partial_fit.refit_fallback")
+        return self._full_fit(union)
+
+    def partial_refit(self) -> np.ndarray:
+        """Full alternation on the accumulated stream, anchors reused.
+
+        The middle rung of the drift ladder: the stored anchors and
+        ``Z_v`` are kept (no graph rebuild), but the F/Y/w alternation
+        runs for the full ``max_iter`` budget warm-started from the
+        current labels.  Runs under the ``streaming.refit`` fault site.
+        """
+        state = self._require_stream("partial_refit")
+        with self._backend_ctx(), failure_guard(_SITE_REFIT):
+            metric_inc("streaming.partial_refit.calls")
+            views = state["views"]
+            result = run_with_policy(
+                _SITE_REFIT, lambda perturb: self._partial_refit_body()
+            )
+            self._commit(views, result)
+            return result.labels
+
+    def _partial_refit_body(self) -> _StreamFit:
+        state = self._stream
+        assert state is not None
+        c = self.n_clusters
+        backend = current_backend()
+        with span(
+            "streaming.partial_refit",
+            n_seen=int(state["labels"].shape[0]),
+            backend=backend.name,
+        ):
+            factors = [anchor_affinity_factor(z) for z in state["z"]]
+            w = np.asarray(state["weights"], dtype=np.float64).copy()
+            labels, w, objective, n_iter = self._alternate(
+                factors,
+                c,
+                state["labels"],
+                w,
+                None,
+                max_iter=self.max_iter,
+            )
+        return _StreamFit(
+            labels=labels,
+            weights=w,
+            anchors=state["anchors"],
+            assignments=state["z"],
+            objective=objective,
+            batch_cost=self.batch_cost_,
+            n_iter=n_iter,
+        )
+
+    def refit(self) -> np.ndarray:
+        """Cold refit on the accumulated stream (anchors re-selected).
+
+        The last rung of the drift ladder: equivalent to a fresh
+        :meth:`fit_predict` on every sample seen so far (the random
+        state is replayed, so an integer seed gives a reproducible
+        refit).  Runs under the ``streaming.refit`` fault site.
+        """
+        state = self._require_stream("refit")
+        with self._backend_ctx(), failure_guard(_SITE_REFIT):
+            metric_inc("streaming.refit.calls")
+            views = state["views"]
+            backend = current_backend()
+            with span(
+                "streaming.refit",
+                n_seen=int(state["labels"].shape[0]),
+                backend=backend.name,
+            ):
+                result = run_with_policy(
+                    _SITE_REFIT, lambda perturb: self._full_fit(views)
+                )
+            self._commit(views, result)
+            return result.labels
+
+    def _require_stream(self, method: str) -> dict:
+        if self._stream is None:
+            raise ValidationError(
+                f"{type(self).__name__}.{method}() requires a fitted model: "
+                f"call fit_predict() or partial_fit() first"
+            )
+        return self._stream

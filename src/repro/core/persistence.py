@@ -48,14 +48,23 @@ class ServableModelMixin:
         view_weights: np.ndarray,
         n_clusters: int,
         n_neighbors: int,
+        *,
+        extras: dict | None = None,
     ) -> None:
-        """Capture the fitted state a serving artifact needs."""
+        """Capture the fitted state a serving artifact needs.
+
+        ``extras`` is an optional mapping of named auxiliary arrays
+        (e.g. the anchor sets a streaming fold-in must reuse) carried
+        into the artifact; omitting it keeps the artifact byte-identical
+        to the pre-extras format.
+        """
         self._fit_state = (
             list(views),
             np.asarray(labels),
             np.asarray(view_weights, dtype=np.float64),
             int(n_clusters),
             int(n_neighbors),
+            {} if extras is None else {k: np.asarray(v) for k, v in extras.items()},
         )
 
     def _serving_config(self) -> dict:
@@ -79,7 +88,7 @@ class ServableModelMixin:
                 f"(fit_affinities() alone keeps no feature matrices for "
                 f"the serving-side kNN index)"
             )
-        views, labels, weights, n_clusters, n_neighbors = self._fit_state
+        views, labels, weights, n_clusters, n_neighbors, extras = self._fit_state
         return ModelArtifact(
             model_class=type(self).__name__,
             train_views=views,
@@ -88,6 +97,7 @@ class ServableModelMixin:
             n_clusters=n_clusters,
             n_neighbors=n_neighbors,
             config=self._serving_config(),
+            extras=extras,
         )
 
     def save(self, directory) -> str:

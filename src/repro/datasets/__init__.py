@@ -23,9 +23,12 @@ from repro.datasets.scenarios import (
     SCENARIOS,
     Scenario,
     ScenarioData,
+    StreamBatch,
+    StreamDrift,
     available_scenarios,
     generate,
     get_scenario,
+    stream_batches,
 )
 from repro.datasets.synth import (
     make_latent_clusters,
@@ -47,7 +50,10 @@ __all__ = [
     "SCENARIOS",
     "Scenario",
     "ScenarioData",
+    "StreamBatch",
+    "StreamDrift",
     "available_scenarios",
     "generate",
     "get_scenario",
+    "stream_batches",
 ]

@@ -53,7 +53,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.datasets.container import MultiViewDataset
-from repro.datasets.synth import make_latent_clusters, view_from_latent
+from repro.datasets.synth import (
+    _confuse_clusters,
+    make_latent_clusters,
+    view_from_latent,
+)
 from repro.exceptions import ValidationError
 
 #: Feature families understood by :func:`view_from_latent`.
@@ -597,6 +601,239 @@ def generate(
     return ScenarioData(
         scenario=scenario, dataset=dataset, masks=masks, seed=seed
     )
+
+
+# ---------------------------------------------------------------------------
+# Streaming: deterministic batch schedules with controlled drift
+# ---------------------------------------------------------------------------
+
+#: Salts the streaming SeedSequence so batch streams never collide with
+#: the static :func:`generate` child layout for the same scenario seed.
+_STREAM_SALT = 0x5EA7
+
+
+@dataclass(frozen=True)
+class StreamDrift:
+    """Controlled mid-stream distribution shift for :func:`stream_batches`.
+
+    From batch ``at_batch`` onward (0-indexed), every cluster center
+    moves by a fixed random unit direction scaled to ``mean_shift``
+    (drawn once from the drift-dedicated seed child, so the shift is
+    identical across batches), and — when ``imbalance`` is set — the
+    per-batch cluster-size profile switches to that imbalance ratio.
+    """
+
+    at_batch: int
+    mean_shift: float = 0.0
+    imbalance: float | None = None
+
+    def __post_init__(self) -> None:
+        if int(self.at_batch) < 1:
+            raise ValidationError(
+                f"drift.at_batch must be >= 1 (batch 0 sets the "
+                f"pre-drift regime), got {self.at_batch}"
+            )
+        object.__setattr__(self, "at_batch", int(self.at_batch))
+        if self.mean_shift < 0:
+            raise ValidationError(
+                f"drift.mean_shift must be non-negative, got {self.mean_shift}"
+            )
+        if self.imbalance is not None and self.imbalance < 1.0:
+            raise ValidationError(
+                f"drift.imbalance must be >= 1, got {self.imbalance}"
+            )
+
+
+@dataclass
+class StreamBatch:
+    """One batch of a scenario stream: views, labels, drift flag."""
+
+    index: int
+    views: list
+    labels: np.ndarray
+    drifted: bool
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.labels.shape[0])
+
+
+def stream_batches(
+    scenario,
+    n_batches: int,
+    *,
+    drift: StreamDrift | None = None,
+    random_state: int | None = None,
+) -> list:
+    """Deterministic batch schedule over a frozen scenario spec.
+
+    Each batch carries ``scenario.n_samples`` fresh samples from the
+    scenario's latent cluster structure.  The cluster centers and each
+    view's rendering projection are drawn **once** (from their own seed
+    children) and shared by every batch, so batches are draws from one
+    fixed distribution — until ``drift`` kicks in, after which centers
+    (and optionally the imbalance profile) shift as specified.
+
+    Stream isolation mirrors :func:`generate`: centers, the drift
+    direction, each view's rendering, each view's dropout, and each
+    batch's latent draw all come from their own
+    :class:`~numpy.random.SeedSequence` child.  Disabling drift (or
+    changing ``at_batch``) therefore leaves the pre-drift batches
+    bit-identical for the ``dense`` and ``binary`` view kinds, whose
+    per-row rendering is row-local; the ``text`` kind couples rows
+    through its idf reweighting, so its pre-drift batches agree in
+    structure but not bit-for-bit.
+
+    Scenarios with shuffle corruption, missing rates, or a latent
+    manifold are rejected: those knobs are defined over one static
+    sample set and have no meaningful per-batch analogue yet.
+
+    Parameters
+    ----------
+    scenario : Scenario or str
+        Spec or registered name; ``scenario.n_samples`` is the batch
+        size.
+    n_batches : int
+        Number of batches to generate.
+    drift : StreamDrift, optional
+        Mid-stream shift; ``drift.at_batch`` must be < ``n_batches``.
+    random_state : int, optional
+        Seed override; defaults to ``scenario.seed``.  The stream is a
+        pure function of ``(scenario, n_batches, drift, seed)``.
+
+    Returns
+    -------
+    list of StreamBatch
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    if not isinstance(scenario, Scenario):
+        raise ValidationError(
+            f"scenario must be a Scenario or a registered name, "
+            f"got {type(scenario).__name__}"
+        )
+    if int(n_batches) < 1:
+        raise ValidationError(f"n_batches must be >= 1, got {n_batches}")
+    n_batches = int(n_batches)
+    if drift is not None and not isinstance(drift, StreamDrift):
+        raise ValidationError(
+            f"drift must be a StreamDrift, got {type(drift).__name__}"
+        )
+    if drift is not None and drift.at_batch >= n_batches:
+        raise ValidationError(
+            f"drift.at_batch={drift.at_batch} must be < n_batches="
+            f"{n_batches} (the shift must land inside the stream)"
+        )
+    unstreamable = []
+    if any(r > 0 for r in scenario.shuffle_fractions):
+        unstreamable.append("shuffle_fractions")
+    if any(r > 0 for r in scenario.missing_rates):
+        unstreamable.append("missing_rates")
+    if scenario.manifold > 0:
+        unstreamable.append("manifold")
+    if unstreamable:
+        raise ValidationError(
+            f"scenario {scenario.name!r} is not streamable: {unstreamable} "
+            f"have no per-batch analogue (they are defined over one "
+            f"static sample set)"
+        )
+    seed = int(scenario.seed if random_state is None else random_state)
+
+    n = scenario.n_samples
+    c = scenario.n_clusters
+    n_views = scenario.n_views
+    latent_dim = scenario.latent_dim
+    # Fixed stream layout: [centers, drift] + per-view [render, dropout]
+    # + per-batch [latent].  Appending future knobs preserves old streams.
+    children = np.random.SeedSequence([seed, _STREAM_SALT]).spawn(
+        2 + 2 * n_views + n_batches
+    )
+    centers_rng = np.random.default_rng(children[0])
+    render_rngs = [
+        np.random.default_rng(children[2 + 2 * v]) for v in range(n_views)
+    ]
+    dropout_rngs = [
+        np.random.default_rng(children[3 + 2 * v]) for v in range(n_views)
+    ]
+    batch_rngs = [
+        np.random.default_rng(children[2 + 2 * n_views + b])
+        for b in range(n_batches)
+    ]
+
+    # Shared cluster geometry, drawn exactly as make_latent_clusters does.
+    centers = centers_rng.normal(size=(c, latent_dim))
+    norms = np.linalg.norm(centers, axis=1, keepdims=True)
+    centers = centers / np.where(norms > 0, norms, 1.0) * scenario.separation
+    offsets = np.zeros((c, latent_dim))
+    if drift is not None and drift.mean_shift > 0:
+        drift_rng = np.random.default_rng(children[1])
+        raw = drift_rng.normal(size=(c, latent_dim))
+        raw_norms = np.linalg.norm(raw, axis=1, keepdims=True)
+        offsets = raw / np.where(raw_norms > 0, raw_norms, 1.0)
+        offsets = offsets * drift.mean_shift
+
+    sizes_before = scenario.cluster_sizes()
+    sizes_after = sizes_before
+    if drift is not None and drift.imbalance is not None:
+        sizes_after = dataclasses.replace(
+            scenario, imbalance_ratio=float(drift.imbalance)
+        ).cluster_sizes()
+
+    schedule = scenario.confusion_schedule()
+    all_labels = []
+    latents = [[] for _ in range(n_views)]  # per view, per batch
+    drifted_flags = []
+    for b in range(n_batches):
+        drifted = drift is not None and b >= drift.at_batch
+        drifted_flags.append(drifted)
+        rng_b = batch_rngs[b]
+        sizes = sizes_after if drifted else sizes_before
+        labels_b = np.repeat(np.arange(c), sizes)
+        rng_b.shuffle(labels_b)
+        eff_centers = centers + offsets if drifted else centers
+        z_b = eff_centers[labels_b] + rng_b.normal(
+            scale=scenario.within_scatter, size=(n, latent_dim)
+        )
+        all_labels.append(labels_b.astype(np.int64))
+        for v in range(n_views):
+            z_v = (
+                _confuse_clusters(z_b, labels_b, eff_centers, schedule[v])
+                if schedule[v]
+                else z_b
+            )
+            latents[v].append(z_v)
+
+    # Render each view once over the whole stream, so the projection (and
+    # distractor/outlier machinery) is shared across batches; per-row
+    # draws keep pre-drift rows bit-identical for row-local kinds.
+    view_streams = []
+    for v in range(n_views):
+        x = view_from_latent(
+            np.vstack(latents[v]),
+            scenario.view_dims[v],
+            kind=scenario.view_kinds[v],
+            noise=scenario.view_noise[v],
+            distractor_fraction=scenario.view_distractors[v],
+            outlier_fraction=scenario.view_outliers[v],
+            random_state=render_rngs[v],
+        )
+        x = _apply_feature_dropout(
+            x, scenario.feature_dropout[v], dropout_rngs[v]
+        )
+        view_streams.append(x)
+
+    batches = []
+    for b in range(n_batches):
+        lo, hi = b * n, (b + 1) * n
+        batches.append(
+            StreamBatch(
+                index=b,
+                views=[x[lo:hi] for x in view_streams],
+                labels=all_labels[b],
+                drifted=drifted_flags[b],
+            )
+        )
+    return batches
 
 
 # ---------------------------------------------------------------------------

@@ -18,8 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backends import current_backend
 from repro.exceptions import ValidationError
-from repro.graph.adaptive import simplex_projection_rowwise
 from repro.graph.distance import pairwise_sq_euclidean
 from repro.utils.rng import check_random_state
 from repro.utils.validation import check_matrix
@@ -82,7 +82,11 @@ def anchor_assignment(
     Returns
     -------
     ndarray of shape (n, m)
-        At most ``k`` nonzeros per row; rows sum to 1.
+        At most ``k`` nonzeros per row; rows sum to 1.  The arithmetic
+        after the distance computation is the active
+        :class:`~repro.backends.ArrayBackend`'s ``anchor_can_weights``
+        kernel (the reference backend is bit-identical to the
+        pre-backend code).
     """
     x = check_matrix(x, "x")
     anchors = check_matrix(anchors, "anchors")
@@ -91,40 +95,22 @@ def anchor_assignment(
             "x and anchors must share the feature dimension, got "
             f"{x.shape[1]} and {anchors.shape[1]}"
         )
-    n = x.shape[0]
     m = anchors.shape[0]
     if not 1 <= k <= m:
         k = max(1, min(k, m))
     d2 = pairwise_sq_euclidean(x, anchors)
-    if k == m:
-        # Degenerate: weight all anchors by projected negative distance.
-        z = simplex_projection_rowwise(-d2 / max(d2.mean(), 1e-12))
-        return z
-    order = np.argsort(d2, axis=1)
-    rows = np.arange(n)[:, None]
-    nearest = order[:, : k + 1]
-    d_sorted = d2[rows, nearest]
-    d_k = d_sorted[:, k]
-    d_topk = d_sorted[:, :k]
-    denom = k * d_k - np.sum(d_topk, axis=1)
-    denom = np.where(denom > np.finfo(float).eps, denom, np.finfo(float).eps)
-    vals = (d_k[:, None] - d_topk) / denom[:, None]
-    vals = simplex_projection_rowwise(vals)
-    z = np.zeros((n, m))
-    z[rows, nearest[:, :k]] = vals
-    return z
+    return current_backend().anchor_can_weights(d2, int(k))
 
 
 def anchor_affinity_factor(z: np.ndarray) -> np.ndarray:
     """The factor ``B = Z Lambda^{-1/2}`` with ``W = B B^T``.
 
     ``W``'s rows sum to 1, so ``W`` *is* its own normalized adjacency and
-    its top eigenvectors are the left singular vectors of ``B``.
+    its top eigenvectors are the left singular vectors of ``B``.  Runs
+    as the active backend's ``anchor_affinity_factor`` kernel.
     """
     z = check_matrix(z, "z")
-    col_mass = z.sum(axis=0)
-    inv_sqrt = np.where(col_mass > 0, 1.0 / np.sqrt(np.maximum(col_mass, 1e-300)), 0.0)
-    return z * inv_sqrt[None, :]
+    return current_backend().anchor_affinity_factor(z)
 
 
 def anchor_affinity(z: np.ndarray) -> np.ndarray:

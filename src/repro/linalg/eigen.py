@@ -22,12 +22,12 @@ memoize through the ambient :mod:`repro.pipeline` cache when one is
 active (keyed on the matrix bytes, ``k``, and which end of the spectrum);
 cached results are bit-identical to direct computation.
 
-The *dense* primary paths dispatch through the active
-:class:`~repro.backends.ArrayBackend` (reduced-precision backends run
-LAPACK in their compute dtype and hand back float64 pairs); the
-fallbacks and the sparse ARPACK Lanczos path stay plain float64 —
-robustness recovery and shift-invert iterations are precision-sensitive,
-and a fallback must not share the failure mode of the path it rescues.
+The primary paths — dense LAPACK *and* the sparse ARPACK Lanczos solve —
+dispatch through the active :class:`~repro.backends.ArrayBackend`
+(reduced-precision backends run the kernel in their compute dtype and
+hand back float64 pairs); the fallbacks stay plain float64 — robustness
+recovery and shift-invert iterations are precision-sensitive, and a
+fallback must not share the failure mode of the path it rescues.
 """
 
 from __future__ import annotations
@@ -124,11 +124,15 @@ def _lanczos(a, k: int, *, which: str) -> tuple[np.ndarray, np.ndarray]:
     label = "smallest" if which == "SA" else "largest"
 
     def primary(perturb: float) -> tuple[np.ndarray, np.ndarray]:
+        backend = current_backend()
         shift = perturb * _shift_scale(a)
         mat = a if shift == 0.0 else a + shift * scipy.sparse.identity(n)
         metric_inc("eigsh.calls")
-        with profile_span("eigsh", n=n, k=k, which=label, path="lanczos"):
-            values, vectors = scipy.sparse.linalg.eigsh(mat, k=k, which=which)
+        with profile_span(
+            "eigsh", n=n, k=k, which=label, path="lanczos",
+            backend=backend.name,
+        ):
+            values, vectors = backend.eigsh_lanczos(mat, k, which)
         if shift != 0.0:
             values = values - shift
         return values, vectors

@@ -81,6 +81,16 @@ def _content_hash(train_views, train_labels, view_weights) -> str:
     return h.hexdigest()
 
 
+def _extras_hash(extras: dict) -> str:
+    """Digest over the named auxiliary arrays, in name order."""
+    h = hashlib.blake2b(digest_size=20)
+    for name in sorted(extras):
+        a = np.ascontiguousarray(extras[name])
+        h.update(f"{name}:{a.shape}:{a.dtype.str}:".encode())
+        h.update(a.tobytes())
+    return h.hexdigest()
+
+
 def library_versions() -> dict:
     """Versions of the stack an artifact was produced under."""
     return {
@@ -115,6 +125,13 @@ class ModelArtifact:
         (informational; prediction uses only the fields above).
     versions : dict
         Library versions at save time (informational).
+    extras : dict
+        Optional named auxiliary arrays (e.g. the per-view anchor sets a
+        streaming fold-in must reuse).  Stored as ``extra_<name>`` npz
+        entries and listed in the manifest only when non-empty, so
+        artifacts without extras stay byte-identical to the pre-extras
+        format; loaders that predate extras ignore the entries, and
+        artifacts that predate them load with ``extras == {}``.
     """
 
     model_class: str
@@ -125,6 +142,7 @@ class ModelArtifact:
     n_neighbors: int = 10
     config: dict = field(default_factory=dict)
     versions: dict = field(default_factory=library_versions)
+    extras: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         views = check_views(self.train_views, "train_views")
@@ -160,6 +178,15 @@ class ModelArtifact:
         if weights.sum() <= 0:
             raise ValidationError("view_weights must not all be zero")
         object.__setattr__(self, "view_weights", weights)
+        extras = {}
+        for name, value in dict(self.extras).items():
+            if not isinstance(name, str) or not name.replace("_", "").isalnum():
+                raise ValidationError(
+                    f"extras keys must be alphanumeric/underscore names, "
+                    f"got {name!r}"
+                )
+            extras[name] = np.asarray(value)
+        object.__setattr__(self, "extras", extras)
 
     # -- derived -----------------------------------------------------------
 
@@ -186,7 +213,7 @@ class ModelArtifact:
 
     def manifest(self) -> dict:
         """The JSON-ready manifest describing this artifact."""
-        return {
+        manifest = {
             "schema_version": SCHEMA_VERSION,
             "model_class": self.model_class,
             "n_samples": self.n_samples,
@@ -199,6 +226,19 @@ class ModelArtifact:
             "versions": dict(self.versions),
             "content_hash": self.content_hash(),
         }
+        if self.extras:
+            # Optional keys: absent entirely when there are no extras so
+            # the manifest (and its hash-relevant bytes) match pre-extras
+            # saves; old readers ignore unknown keys.
+            manifest["extras"] = {
+                name: {
+                    "shape": list(arr.shape),
+                    "dtype": arr.dtype.str,
+                }
+                for name, arr in sorted(self.extras.items())
+            }
+            manifest["extras_hash"] = _extras_hash(self.extras)
+        return manifest
 
     # -- persistence -------------------------------------------------------
 
@@ -218,6 +258,8 @@ class ModelArtifact:
             }
             for i, v in enumerate(self.train_views):
                 payload[f"view_{i}"] = v
+            for name, arr in self.extras.items():
+                payload[f"extra_{name}"] = arr
             arrays_path = os.path.join(directory, ARRAYS_NAME)
             tmp = f"{arrays_path}.tmp{os.getpid()}"
             with open(tmp, "wb") as fh:
@@ -270,6 +312,7 @@ class ModelArtifact:
             n_neighbors=int(manifest["n_neighbors"]),
             config=dict(manifest.get("config", {})),
             versions=dict(manifest.get("versions", {})),
+            extras=arrays["extras"],
         )
         recorded = str(manifest["content_hash"])
         actual = artifact.content_hash()
@@ -279,6 +322,15 @@ class ModelArtifact:
                 f"{recorded} but arrays hash to {actual} (artifact was "
                 f"modified after save)"
             )
+        recorded_extras = manifest.get("extras_hash")
+        if recorded_extras is not None:
+            actual_extras = _extras_hash(artifact.extras)
+            if str(recorded_extras) != actual_extras:
+                raise ArtifactError(
+                    f"extras hash mismatch in {directory!r}: manifest "
+                    f"records {recorded_extras} but extras hash to "
+                    f"{actual_extras} (artifact was modified after save)"
+                )
         return artifact
 
 
@@ -348,12 +400,14 @@ def _read_arrays(directory: str, manifest: dict) -> dict:
             f"artifact manifest in {directory!r} lists {len(view_dims)} "
             f"view dims for n_views={n_views}"
         )
+    extra_names = sorted(manifest.get("extras", {}))
     try:
         with np.load(path, allow_pickle=False) as data:
             names = set(data.files)
             required = {"train_labels", "view_weights"} | {
                 f"view_{i}" for i in range(n_views)
             }
+            required |= {f"extra_{name}" for name in extra_names}
             missing = sorted(required - names)
             if missing:
                 raise ArtifactError(
@@ -363,6 +417,7 @@ def _read_arrays(directory: str, manifest: dict) -> dict:
             views = [data[f"view_{i}"] for i in range(n_views)]
             labels = data["train_labels"]
             weights = data["view_weights"]
+            extras = {name: data[f"extra_{name}"] for name in extra_names}
     except ArtifactError:
         raise
     except Exception as exc:  # zipfile/OSError/ValueError: corrupt payload
@@ -385,4 +440,9 @@ def _read_arrays(directory: str, manifest: dict) -> dict:
             f"artifact view_weights has shape {weights.shape}, manifest "
             f"says ({n_views},)"
         )
-    return {"views": views, "train_labels": labels, "view_weights": weights}
+    return {
+        "views": views,
+        "train_labels": labels,
+        "view_weights": weights,
+        "extras": extras,
+    }

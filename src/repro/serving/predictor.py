@@ -115,6 +115,18 @@ class _ViewIndex:
             queries, self.train, y_sq_norms=self.sq_norms
         )
 
+    def extend(self, rows: np.ndarray) -> None:
+        """Append reference rows without rebuilding the whole index.
+
+        Only the new rows' squared norms are computed (norms are
+        row-local, so the result is bit-identical to a full rebuild).
+        """
+        rows = check_matrix(rows, "rows")
+        self.train = np.vstack([self.train, rows])
+        self.sq_norms = np.concatenate(
+            [self.sq_norms, np.einsum("ij,ij->i", rows, rows)]
+        )
+
 
 class Predictor:
     """Batched inductive classifier over a fitted-model artifact.
@@ -283,6 +295,74 @@ class Predictor:
         metric_inc("serving.requests", m)
         metric_observe("serving.predict_seconds", time.perf_counter() - tick)
         return scores
+
+    def adapt(self, views, *, labels=None) -> np.ndarray:
+        """Absorb a batch into the reference set without a full retrain.
+
+        Online-adapt mode for a long-running predictor: the batch is
+        labeled (by the model's own kernel-vote propagation unless
+        explicit ``labels`` are given), the per-view kNN indexes are
+        extended in place — only the new rows' norms are computed — and
+        :attr:`artifact` is replaced by one whose training set includes
+        the batch, so a subsequent :meth:`save` persists the adapted
+        state through the versioned artifact layer.  Auxiliary
+        ``extras`` (e.g. streaming anchor sets) carry over unchanged.
+
+        Parameters
+        ----------
+        views : sequence of ndarray (m, d_v)
+            The batch to absorb, same view schema as the artifact.
+        labels : ndarray of int64, shape (m,), optional
+            Trusted labels for the batch; omitted, the batch is labeled
+            by :meth:`predict` (label propagation).
+
+        Returns
+        -------
+        ndarray of int64, shape (m,)
+            The labels the batch was absorbed under.
+        """
+        a = self.artifact
+        mats = self._check_query_views(views)
+        m = mats[0].shape[0]
+        with span("serving.adapt", n_samples=m, n_views=a.n_views):
+            if labels is None:
+                labels = self.predict(mats)
+            else:
+                labels = np.asarray(labels)
+                if labels.shape != (m,):
+                    raise ValidationError(
+                        f"labels must have shape ({m},), got {labels.shape}"
+                    )
+                if np.any(labels < 0) or np.any(labels >= a.n_clusters):
+                    raise ValidationError(
+                        f"labels must lie in [0, {a.n_clusters}), got "
+                        f"range [{labels.min()}, {labels.max()}]"
+                    )
+                labels = labels.astype(np.int64)
+            adapted = ModelArtifact(
+                model_class=a.model_class,
+                train_views=[
+                    np.vstack([t, x]) for t, x in zip(a.train_views, mats)
+                ],
+                train_labels=np.concatenate([a.train_labels, labels]),
+                view_weights=a.view_weights,
+                n_clusters=a.n_clusters,
+                n_neighbors=a.n_neighbors,
+                config=dict(a.config),
+                versions=dict(a.versions),
+                extras=dict(a.extras),
+            )
+            for index, x in zip(self._indexes, mats):
+                index.extend(x)
+            self.artifact = adapted
+            self._k = min(adapted.n_neighbors, adapted.n_samples)
+        metric_inc("serving.adapt.batches")
+        metric_inc("serving.adapt.samples", m)
+        return labels
+
+    def save(self, directory) -> str:
+        """Persist the predictor's current (possibly adapted) artifact."""
+        return self.artifact.save(directory)
 
     # -- internals ---------------------------------------------------------
 

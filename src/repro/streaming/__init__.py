@@ -1,0 +1,40 @@
+"""Streaming multi-view clustering: incremental fits plus drift control.
+
+The package layers three pieces over the anchor model's fold-in
+machinery (see :mod:`repro.core.anchor_model`):
+
+* :mod:`repro.streaming.drift` — the :class:`DriftDetector` protocol
+  with objective-shift and view-weight-shift implementations (latch +
+  cooldown, so a sustained shift fires once);
+* :mod:`repro.streaming.model` — :class:`StreamingMVSC`, the per-batch
+  protocol (fold in, consult detectors, escalate to a refit, record
+  typed events);
+* the batch schedules themselves come from
+  :func:`repro.datasets.scenarios.stream_batches`.
+
+See ``docs/streaming.md`` for the end-to-end guide.
+"""
+
+from repro.streaming.drift import (
+    BatchStats,
+    DriftDecision,
+    DriftDetector,
+    DriftEvent,
+    ObjectiveShiftDetector,
+    ViewWeightShiftDetector,
+    worst_decision,
+)
+from repro.streaming.model import BatchRecord, StreamingMVSC, default_detectors
+
+__all__ = [
+    "BatchRecord",
+    "BatchStats",
+    "DriftDecision",
+    "DriftDetector",
+    "DriftEvent",
+    "ObjectiveShiftDetector",
+    "StreamingMVSC",
+    "ViewWeightShiftDetector",
+    "default_detectors",
+    "worst_decision",
+]

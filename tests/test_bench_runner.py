@@ -91,6 +91,7 @@ class TestRunBenches:
             "predict_batch",
             "serving_throughput",
             "scenario_matrix",
+            "streaming",
         }
         for description, _ in BENCHES.values():
             assert "bench_" in description

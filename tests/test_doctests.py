@@ -28,6 +28,7 @@ MODULE_NAMES = [
     "repro.pipeline.parallel",
     "repro.robust.faults",
     "repro.robust.policy",
+    "repro.streaming.model",
 ]
 
 

@@ -148,6 +148,8 @@ class TestSiteCatalogue:
         "runner.run",
         "serving.load",
         "serving.predict",
+        "streaming.partial_fit",
+        "streaming.refit",
     }
 
     def test_all_library_sites_registered(self):
@@ -295,6 +297,71 @@ class TestFallbackSites:
         with inject_faults(FaultSpec("procrustes.svd", mode="nan", times=None)):
             got = nearest_orthogonal(m)
         assert np.all(np.isfinite(got))
+
+
+class TestStreamingSites:
+    """Streaming fold-in degrades to a full refit and never corrupts state."""
+
+    @staticmethod
+    def _two_batches():
+        from repro.datasets.scenarios import get_scenario, stream_batches
+
+        scenario = get_scenario("confused_pairs").with_size(60)
+        return stream_batches(scenario, 2, random_state=0)
+
+    def test_partial_fit_falls_back_to_refit(self):
+        from repro.core.anchor_model import AnchorMVSC
+
+        batches = self._two_batches()
+        union = [
+            np.vstack([a, b])
+            for a, b in zip(batches[0].views, batches[1].views)
+        ]
+        # The fallback refits on the accumulated stream with a fresh rng,
+        # so it must match a cold fit on the union bit-for-bit.
+        expected = AnchorMVSC(4, random_state=0).fit_predict(union)
+        model = AnchorMVSC(4, random_state=0)
+        model.partial_fit(batches[0].views)
+        with inject_faults(
+            FaultSpec("streaming.partial_fit", **PERSISTENT)
+        ), collect_recoveries() as events:
+            got = model.partial_fit(batches[1].views)
+        np.testing.assert_array_equal(got, expected)
+        assert [e.strategy for e in events] == ["fallback"]
+        assert events[0].detail == "refit"
+        assert model.n_seen_ == 120
+
+    def test_one_shot_fault_retries_without_double_append(self):
+        from repro.core.anchor_model import AnchorMVSC
+
+        batches = self._two_batches()
+        clean = AnchorMVSC(4, random_state=0)
+        clean.partial_fit(batches[0].views)
+        expected = clean.partial_fit(batches[1].views)
+        model = AnchorMVSC(4, random_state=0)
+        model.partial_fit(batches[0].views)
+        # The fold-in body is pure (state commits only after the policy
+        # returns), so the retry re-runs it on the same stream state and
+        # the batch cannot be appended twice.
+        with inject_faults(
+            FaultSpec("streaming.partial_fit", **ONE_SHOT)
+        ), collect_recoveries() as events:
+            got = model.partial_fit(batches[1].views)
+        np.testing.assert_array_equal(got, expected)
+        assert [e.strategy for e in events] == ["retry"]
+        assert model.n_seen_ == 120
+
+    def test_refit_exhausts_typed_and_leaves_state_intact(self):
+        from repro.core.anchor_model import AnchorMVSC
+
+        batches = self._two_batches()
+        model = AnchorMVSC(4, random_state=0)
+        before = model.partial_fit(batches[0].views)
+        with inject_faults(FaultSpec("streaming.refit", **PERSISTENT)):
+            with pytest.raises(RecoveryExhaustedError, match="streaming.refit"):
+                model.refit()
+        assert model.n_seen_ == 60
+        np.testing.assert_array_equal(model.labels_, before)
 
 
 class TestSkipSites:
