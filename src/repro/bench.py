@@ -14,9 +14,12 @@ into machine-readable perf records:
   peaks, machine fingerprint);
 * :func:`write_report` / :func:`load_report` — ``BENCH_<tag>.json``
   persistence with schema validation;
-* :func:`compare_reports` — regression detection between two reports
-  with a configurable relative threshold, for the CI gate
-  (``repro bench compare`` exits nonzero on regression).
+* :func:`compare_reports` — regression detection between two reports,
+  for the CI gate (``repro bench compare`` exits nonzero on
+  regression): wall-clock against a relative ``threshold``, and the
+  per-bench memory peaks (``peak_rss_bytes`` / ``peak_alloc_bytes``
+  from the untimed memory-attribution pass) against their own looser
+  ``memory_threshold`` and byte noise floor.
 
 Both entry points — ``repro bench {run,compare}`` and
 ``python benchmarks/bench_runner.py`` — are thin wrappers over this
@@ -42,11 +45,14 @@ import numpy as np
 import scipy
 
 from repro.exceptions import ValidationError
+from repro.observability.memory import use_memory_tracking
 from repro.observability.profiling import use_profiling
 from repro.observability.resource import ResourceSampler
 from repro.observability.trace import Trace, use_trace
 
 #: Format version of ``BENCH_*.json``; bump on breaking layout changes.
+#: (The ``memory`` block added per bench is additive, so version 1
+#: readers and writers stay compatible.)
 SCHEMA_VERSION = 1
 
 #: Relative slowdown tolerated before a bench counts as regressed.
@@ -55,6 +61,15 @@ DEFAULT_THRESHOLD = 0.25
 #: Benches faster than this are too noisy to gate on; compared but
 #: never flagged.
 MIN_GATED_SECONDS = 0.005
+
+#: Relative memory growth tolerated before a bench counts as regressed.
+#: Allocations jitter more than wall-clock (allocator reuse, reservoir
+#: effects), so the memory gate is looser than the time gate.
+DEFAULT_MEMORY_THRESHOLD = 0.50
+
+#: Memory baselines below this are too small to gate on (allocator /
+#: interpreter noise dominates); compared but never flagged.
+MIN_GATED_MEMORY_BYTES = 16 * 1024 * 1024
 
 
 # ---------------------------------------------------------------------------
@@ -298,6 +313,7 @@ def run_benches(
     repeats: int = 3,
     tag: str = "local",
     profile: bool = True,
+    memory: bool = True,
 ) -> dict:
     """Execute tracked benches; return the schema-versioned report.
 
@@ -320,6 +336,14 @@ def run_benches(
         each profiled site's top functions under the entry's
         ``"hotspots"`` key.  The timed repetitions never run under the
         profiler, so the headline seconds are unaffected.
+    memory : bool
+        After the timed repetitions, run one extra *untimed* pass with
+        :class:`~repro.observability.memory.use_memory_tracking` armed
+        (plus its own resource sampler) and store the per-phase
+        allocation table and peaks under the entry's ``"memory"`` key —
+        the fields ``repro bench compare`` gates memory regressions on.
+        Tracemalloc roughly doubles allocation cost, which is why this
+        pass is untimed and separate.
 
     Each bench runs inside its own trace and resource sampler, so the
     report carries the metrics snapshot (eigensolver calls, GPI inner
@@ -368,6 +392,18 @@ def run_benches(
             entry["hotspots"] = {
                 site: session.hotspots(site, top=5)
                 for site in session.sites()
+            }
+        if memory:
+            # Separate untimed pass: tracemalloc distorts timings, so
+            # memory attribution never shares a pass with the clock.
+            with ResourceSampler(interval_seconds=0.01) as mem_sampler:
+                with use_trace(Trace(f"bench:{name}:memory")):
+                    with use_memory_tracking() as mem_session:
+                        work()
+            entry["memory"] = {
+                "peak_rss_bytes": mem_sampler.summary()["peak_rss_bytes"],
+                "peak_alloc_bytes": mem_session.peak_alloc_bytes,
+                "sites": mem_session.table(),
             }
         benches[name] = entry
     return {
@@ -455,6 +491,25 @@ class BenchDelta:
 
 
 @dataclass(frozen=True)
+class MemoryDelta:
+    """One bench's baseline-vs-current comparison row for one memory
+    metric (``peak_rss_bytes`` or ``peak_alloc_bytes``)."""
+
+    name: str
+    metric: str
+    baseline_bytes: float
+    current_bytes: float
+    regressed: bool
+
+    @property
+    def ratio(self) -> float:
+        """``current / baseline`` (inf when the baseline is 0)."""
+        if self.baseline_bytes <= 0:
+            return float("inf")
+        return self.current_bytes / self.baseline_bytes
+
+
+@dataclass(frozen=True)
 class Comparison:
     """Outcome of :func:`compare_reports`.
 
@@ -469,22 +524,60 @@ class Comparison:
         Benches only in the current report (informational).
     threshold : float
         Relative slowdown gate the rows were judged against.
+    memory_deltas : list of MemoryDelta
+        Memory rows for benches carrying the fields in *both* reports.
+    memory_skipped : list of str
+        ``bench/metric`` labels whose memory fields were missing or
+        malformed on either side — reported, never gated (warn-only),
+        so pre-memory reports keep comparing cleanly.
+    memory_threshold : float
+        Relative memory-growth gate the memory rows were judged
+        against (looser than the time gate; allocations jitter more).
     """
 
     deltas: list = field(default_factory=list)
     missing: list = field(default_factory=list)
     new: list = field(default_factory=list)
     threshold: float = DEFAULT_THRESHOLD
+    memory_deltas: list = field(default_factory=list)
+    memory_skipped: list = field(default_factory=list)
+    memory_threshold: float = DEFAULT_MEMORY_THRESHOLD
 
     @property
     def regressions(self) -> list:
-        """The rows that exceeded the threshold."""
+        """The time rows that exceeded the threshold."""
         return [d for d in self.deltas if d.regressed]
 
     @property
+    def memory_regressions(self) -> list:
+        """The memory rows that exceeded the memory threshold."""
+        return [d for d in self.memory_deltas if d.regressed]
+
+    @property
     def ok(self) -> bool:
-        """True when nothing regressed and no coverage went missing."""
-        return not self.regressions and not self.missing
+        """True when nothing regressed (time or memory) and no
+        coverage went missing."""
+        return (
+            not self.regressions
+            and not self.memory_regressions
+            and not self.missing
+        )
+
+
+#: The per-bench memory fields the comparison gate reads.
+MEMORY_METRICS = ("peak_rss_bytes", "peak_alloc_bytes")
+
+
+def _memory_value(entry, metric: str):
+    """One memory field of a bench entry, or ``None`` when missing or
+    malformed (pre-memory reports, hand-fabricated entries)."""
+    block = entry.get("memory")
+    if not isinstance(block, dict):
+        return None
+    value = block.get(metric)
+    if not isinstance(value, (int, float)) or value < 0:
+        return None
+    return float(value)
 
 
 def compare_reports(
@@ -492,20 +585,32 @@ def compare_reports(
     current: dict,
     *,
     threshold: float = DEFAULT_THRESHOLD,
+    memory_threshold: float = DEFAULT_MEMORY_THRESHOLD,
 ) -> Comparison:
     """Judge ``current`` against ``baseline`` bench by bench.
 
     A bench regresses when its headline seconds exceed the baseline by
     more than ``threshold`` (relative) *and* the baseline is above
     :data:`MIN_GATED_SECONDS` (sub-5ms timings are timer noise).
-    Speedups never fail; comparing reports from different machines is
-    allowed but the fingerprints are the caller's responsibility.
+    Memory is gated the same way but separately: each
+    :data:`MEMORY_METRICS` field regresses past ``memory_threshold``
+    only when the baseline is above :data:`MIN_GATED_MEMORY_BYTES`;
+    entries missing the fields on either side are *skipped* (warn-only,
+    never a failure) so pre-memory reports keep comparing.  Speedups
+    and shrinkage never fail; comparing reports from different machines
+    is allowed but the fingerprints are the caller's responsibility.
     """
     if float(threshold) < 0:
         raise ValidationError(f"threshold must be >= 0, got {threshold}")
+    if float(memory_threshold) < 0:
+        raise ValidationError(
+            f"memory_threshold must be >= 0, got {memory_threshold}"
+        )
     base_benches = baseline["benches"]
     cur_benches = current["benches"]
     deltas = []
+    memory_deltas = []
+    memory_skipped = []
     for name, base in base_benches.items():
         if name not in cur_benches:
             continue
@@ -523,11 +628,33 @@ def compare_reports(
                 regressed=regressed,
             )
         )
+        for metric in MEMORY_METRICS:
+            base_b = _memory_value(base, metric)
+            cur_b = _memory_value(cur_benches[name], metric)
+            if base_b is None or cur_b is None:
+                memory_skipped.append(f"{name}/{metric}")
+                continue
+            memory_deltas.append(
+                MemoryDelta(
+                    name=name,
+                    metric=metric,
+                    baseline_bytes=base_b,
+                    current_bytes=cur_b,
+                    regressed=(
+                        base_b > MIN_GATED_MEMORY_BYTES
+                        and cur_b
+                        > base_b * (1.0 + float(memory_threshold))
+                    ),
+                )
+            )
     return Comparison(
         deltas=deltas,
         missing=sorted(set(base_benches) - set(cur_benches)),
         new=sorted(set(cur_benches) - set(base_benches)),
         threshold=float(threshold),
+        memory_deltas=memory_deltas,
+        memory_skipped=memory_skipped,
+        memory_threshold=float(memory_threshold),
     )
 
 
@@ -551,6 +678,28 @@ def format_comparison(comparison: Comparison) -> str:
             ["bench", "baseline", "current", "ratio", "verdict"], rows
         )
     ]
+    if comparison.memory_deltas:
+        mem_rows = [
+            [
+                f"{d.name} ({d.metric})",
+                f"{d.baseline_bytes / 1e6:.1f}MB",
+                f"{d.current_bytes / 1e6:.1f}MB",
+                f"{d.ratio:.2f}x",
+                "REGRESSED" if d.regressed else "ok",
+            ]
+            for d in comparison.memory_deltas
+        ]
+        lines.append(
+            format_rows(
+                ["memory", "baseline", "current", "ratio", "verdict"],
+                mem_rows,
+            )
+        )
+    if comparison.memory_skipped:
+        lines.append(
+            "memory fields missing (compared warn-only): "
+            + ", ".join(comparison.memory_skipped)
+        )
     if comparison.missing:
         lines.append(
             "missing from current report: " + ", ".join(comparison.missing)
@@ -558,9 +707,11 @@ def format_comparison(comparison: Comparison) -> str:
     if comparison.new:
         lines.append("new benches (no baseline): " + ", ".join(comparison.new))
     n_reg = len(comparison.regressions)
+    n_mem = len(comparison.memory_regressions)
     lines.append(
-        f"{n_reg} regression(s) at threshold "
-        f"+{comparison.threshold:.0%}"
+        f"{n_reg} regression(s) at threshold +{comparison.threshold:.0%}, "
+        f"{n_mem} memory regression(s) at "
+        f"+{comparison.memory_threshold:.0%}"
         + ("" if comparison.ok else " — FAIL")
     )
     return "\n".join(lines)

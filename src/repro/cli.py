@@ -34,8 +34,16 @@ Six subcommands mirror the evaluation artifacts:
 * ``bench``       — the benchmark-regression tracker
   (:mod:`repro.bench`): ``bench run`` writes a schema-versioned
   ``BENCH_<tag>.json`` (wall-clock, metrics dump, resource peaks,
-  machine fingerprint), ``bench compare`` gates one report against a
-  baseline with a configurable threshold (nonzero exit for CI);
+  per-phase memory attribution), ``bench compare`` gates one report
+  against a baseline — wall-clock at ``--threshold``, memory peaks at
+  their own looser ``--memory-threshold`` (nonzero exit for CI);
+* ``health``      — the SLO/alert rules engine
+  (:mod:`repro.observability.health`): ``health check`` evaluates a
+  rule pack (default or ``--rules FILE``) against a live traced fit
+  (``--dataset``), a saved trace's snapshot (``--from-trace``), or
+  every bench entry of a ``BENCH_*.json`` (``--from-bench``); exits 0
+  when healthy, 1 when a critical rule fires (``--strict``: any
+  failure), 2 on unreadable input;
 * ``backends``    — ``backends list`` prints the registered compute
   backends (:mod:`repro.backends`) with dtype, tolerance, and
   availability, marking the currently active one;
@@ -302,6 +310,63 @@ def build_parser() -> argparse.ArgumentParser:
         "trace instead of running a fit",
     )
 
+    health_p = sub.add_parser(
+        "health",
+        help="evaluate SLO/health rules against metrics (CI exit codes)",
+    )
+    health_sub = health_p.add_subparsers(
+        dest="health_command", required=True
+    )
+    check_p = health_sub.add_parser(
+        "check",
+        help="evaluate a rule pack against a live fit, a saved trace, "
+        "or a bench report; exit 0 healthy / 1 critical / 2 bad input",
+    )
+    check_p.add_argument(
+        "--from-trace",
+        dest="from_trace",
+        default=None,
+        metavar="PATH",
+        help="evaluate the metrics snapshot embedded in a JSONL trace",
+    )
+    check_p.add_argument(
+        "--from-bench",
+        dest="from_bench",
+        default=None,
+        metavar="PATH",
+        help="evaluate every bench entry's metrics in a BENCH_*.json",
+    )
+    check_p.add_argument(
+        "--rules",
+        default=None,
+        metavar="FILE",
+        help="JSON rule pack (default: the built-in six-rule pack)",
+    )
+    check_p.add_argument(
+        "--dataset",
+        default=None,
+        choices=available_benchmarks(),
+        help="run one live traced fit and judge its metrics",
+    )
+    check_p.add_argument(
+        "--method",
+        default="UMSC",
+        choices=sorted(default_method_registry()),
+    )
+    check_p.add_argument("--seed", type=int, default=0)
+    check_p.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on any failing rule, not only critical ones",
+    )
+    check_p.add_argument(
+        "--json",
+        dest="json_out",
+        default=None,
+        metavar="PATH",
+        help="also write the full health report as JSON",
+    )
+
     trace_p = sub.add_parser(
         "trace", help="analyze a JSONL trace file (spans -> hotspots)"
     )
@@ -366,6 +431,14 @@ def build_parser() -> argparse.ArgumentParser:
         "hotspots in the report)",
     )
     bench_run_p.add_argument(
+        "--no-memory",
+        dest="memory",
+        action="store_false",
+        help="skip the extra untimed memory-attribution pass (no "
+        "per-bench memory peaks in the report; the compare memory "
+        "gate degrades to warn-only)",
+    )
+    bench_run_p.add_argument(
         "--out",
         default=None,
         metavar="PATH",
@@ -390,6 +463,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FRAC",
         help="relative slowdown gate (default 0.25 = +25%%)",
+    )
+    bench_cmp_p.add_argument(
+        "--memory-threshold",
+        dest="memory_threshold",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="relative memory-growth gate for the per-bench peaks "
+        "(default 0.50 = +50%%; allocations jitter more than "
+        "wall-clock)",
     )
     bench_cmp_p.add_argument(
         "--warn-only",
@@ -901,6 +984,108 @@ def _cmd_metrics(args, out) -> int:
     return 0
 
 
+def _cmd_health(args, out) -> int:
+    """``repro health check`` — evaluate a rule pack, exit like CI wants."""
+    from repro import bench as bench_mod
+    from repro.observability import analysis
+    from repro.observability.health import (
+        default_rule_pack,
+        evaluate_rules,
+        load_rules,
+    )
+
+    assert args.health_command == "check"
+    rules = (
+        load_rules(args.rules) if args.rules else default_rule_pack()
+    )
+    if args.from_trace and args.from_bench:
+        raise ValidationError(
+            "health check takes --from-trace or --from-bench, not both"
+        )
+    if args.from_trace:
+        snapshot = analysis.metrics_snapshot(
+            analysis.load_trace(args.from_trace)
+        )
+        sources = [(f"trace:{args.from_trace}", snapshot)]
+    elif args.from_bench:
+        report = bench_mod.load_report(args.from_bench)
+        sources = [
+            (f"bench:{name}", entry.get("metrics", {}))
+            for name, entry in sorted(report["benches"].items())
+        ]
+        if not sources:
+            raise ValidationError(
+                f"bench report {args.from_bench!r} has no bench entries"
+            )
+    else:
+        if not args.dataset:
+            raise ValidationError(
+                "health check needs a metrics source: --dataset (run a "
+                "live traced fit), --from-trace PATH, or --from-bench PATH"
+            )
+        dataset = load_benchmark(args.dataset)
+        spec = default_method_registry()[args.method]
+        trace = Trace(f"health:{args.dataset}:{args.method}")
+        with use_trace(trace):
+            run_method_once(spec, dataset, args.seed, metrics=("acc",))
+        sources = [
+            (f"fit:{args.dataset}:{args.method}", trace.metrics.snapshot())
+        ]
+
+    reports = []
+    for label, snapshot in sources:
+        report = evaluate_rules(rules, snapshot)
+        reports.append((label, report))
+        print(f"{label}:", file=out)
+        rows = [
+            [
+                res.rule.name,
+                res.status,
+                "-" if res.value is None else f"{res.value:.6g}",
+                res.rule.severity,
+                res.detail,
+            ]
+            for res in report.results
+        ]
+        print(
+            format_rows(
+                ["rule", "status", "value", "severity", "detail"], rows
+            ),
+            file=out,
+        )
+
+    failing = [
+        (label, res)
+        for label, report in reports
+        for res in report.failing
+    ]
+    critical = [(label, res) for label, res in failing if res.critical]
+    n_rules = sum(len(report.results) for _, report in reports)
+    verdict = (
+        f"{n_rules} rule evaluation(s) across {len(reports)} source(s): "
+        f"{len(failing)} failing, {len(critical)} critical"
+    )
+    bad = bool(critical) or (args.strict and bool(failing))
+    print(verdict + (" — FAIL" if bad else " — OK"), file=out)
+
+    if args.json_out:
+        doc = {
+            "rules": [r.to_dict() for r in rules],
+            "sources": [
+                {"source": label, **report.to_dict()}
+                for label, report in reports
+            ],
+            "failing": len(failing),
+            "critical": len(critical),
+            "ok": not bad,
+        }
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote health report -> {args.json_out}", file=out)
+    return 1 if bad else 0
+
+
 def _cmd_trace(args, out) -> int:
     from repro.observability import analysis
 
@@ -991,16 +1176,20 @@ def _cmd_bench(args, out) -> int:
                 repeats=args.repeats,
                 tag=args.tag,
                 profile=args.profile,
+                memory=args.memory,
             )
         path = args.out or f"BENCH_{args.tag}.json"
         bench_mod.write_report(report, path)
         for name, entry in report["benches"].items():
             peak = entry["resources"]["peak_rss_bytes"] / 1e6
-            print(
+            line = (
                 f"  {name:<20} {entry['seconds']:.3f}s "
-                f"(peak rss {peak:.0f} MB)",
-                file=out,
+                f"(peak rss {peak:.0f} MB"
             )
+            if "memory" in entry:
+                alloc = entry["memory"]["peak_alloc_bytes"] / 1e6
+                line += f", peak alloc {alloc:.0f} MB"
+            print(line + ")", file=out)
         print(
             f"wrote {len(report['benches'])} bench entries -> {path} "
             f"(tag {report['tag']!r}, "
@@ -1016,8 +1205,16 @@ def _cmd_bench(args, out) -> int:
             if args.threshold is None
             else args.threshold
         )
+        memory_threshold = (
+            bench_mod.DEFAULT_MEMORY_THRESHOLD
+            if args.memory_threshold is None
+            else args.memory_threshold
+        )
         comparison = bench_mod.compare_reports(
-            baseline, current, threshold=threshold
+            baseline,
+            current,
+            threshold=threshold,
+            memory_threshold=memory_threshold,
         )
         print(bench_mod.format_comparison(comparison), file=out)
         if comparison.ok:
@@ -1342,6 +1539,8 @@ def main(argv=None, out=None) -> int:
         return _cmd_serve(args, out)
     if args.command == "metrics":
         return _guard_trace_errors(_cmd_metrics, args, out)
+    if args.command == "health":
+        return _guard_trace_errors(_cmd_health, args, out)
     if args.command == "trace":
         return _guard_trace_errors(_cmd_trace, args, out)
     if args.command == "bench":

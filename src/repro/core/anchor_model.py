@@ -65,7 +65,13 @@ from repro.graph.anchor import (
 from repro.graph.distance import pairwise_sq_euclidean
 from repro.linalg.procrustes import nearest_orthogonal
 from repro.observability.events import IterationEvent, dispatch_event
-from repro.observability.trace import metric_inc, span
+from repro.observability.health import weight_entropy
+from repro.observability.trace import (
+    current_trace,
+    metric_inc,
+    metric_set,
+    span,
+)
 from repro.pipeline.cache import memoized_parallel
 from repro.robust.faults import maybe_inject, register_fault_site
 from repro.robust.policy import failure_guard, run_with_policy
@@ -95,6 +101,12 @@ def _top_left_singular(b: np.ndarray, c: int) -> np.ndarray:
     gram = b.T @ b
     values, vectors = np.linalg.eigh(gram)
     order = np.argsort(values)[::-1][:c]
+    if current_trace() is not None and values.size > c:
+        # Numerical-health probe: the Gram spectral gap behind the
+        # anchor embedding (sigma_c^2 - sigma_{c+1}^2), free here since
+        # eigh already produced the full small spectrum.
+        ranked = np.sort(values)[::-1]
+        metric_set("health.eigengap", float(ranked[c - 1] - ranked[c]))
     vals = np.maximum(values[order], 1e-300)
     return (b @ vectors[:, order]) / np.sqrt(vals)[None, :]
 
@@ -113,7 +125,12 @@ def _anchor_coverage(views, anchor_sets) -> float:
         float(pairwise_sq_euclidean(x, a).min(axis=1).mean())
         for x, a in zip(views, anchor_sets)
     ]
-    return float(np.mean(costs))
+    coverage = float(np.mean(costs))
+    # Numerical-health probe: published wherever the statistic is
+    # computed (cold fits, fold-ins, streaming batches), so the gauge
+    # always reflects the latest batch.
+    metric_set("health.anchor_coverage", coverage)
+    return coverage
 
 
 @dataclass(frozen=True)
@@ -397,6 +414,11 @@ class AnchorMVSC(ServableModelMixin):
                 new_w = update_view_weights(
                     np.maximum(h, 0.0), mode=self.weighting, gamma=self.gamma
                 )
+                if current_trace() is not None:
+                    # Numerical-health probe (see the weight-collapse rule).
+                    metric_set(
+                        "health.weight_entropy", weight_entropy(new_w)
+                    )
             block_seconds["w_step"] = time.perf_counter() - tick
             objective = float(np.dot(multipliers, np.maximum(h, 0.0)))
             weights_converged = np.allclose(new_w, w, atol=1e-10)

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.graph.affinity import build_view_affinity
 from repro.graph.laplacian import laplacian
-from repro.observability.profiling import profile_span
+from repro.observability.memory import memory_span
 from repro.observability.trace import span
 from repro.pipeline.cache import cache_key, current_cache
 from repro.pipeline.parallel import parallel_map, resolve_jobs
@@ -116,7 +116,7 @@ def build_multiview_affinities(
     else:
         computed = []
         for i in missing:
-            with profile_span(
+            with memory_span(
                 "view_affinity", view=i, kind=kinds[i], n=views[i].shape[0]
             ):
                 computed.append(

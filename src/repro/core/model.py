@@ -70,7 +70,8 @@ from repro.observability.events import (
     IterationEvent,
     dispatch_event,
 )
-from repro.observability.trace import span
+from repro.observability.health import weight_entropy
+from repro.observability.trace import current_trace, metric_set, span
 from repro.linalg.procrustes import nearest_orthogonal
 from repro.robust.faults import maybe_inject, register_fault_site
 from repro.robust.policy import (
@@ -319,6 +320,15 @@ class UnifiedMVSC(ServableModelMixin):
             r, labels = rotation_initialize(
                 f, c, n_restarts=self.n_restarts, random_state=rng
             )
+            if current_trace() is not None and c + 1 <= n:
+                # Numerical-health probe: the spectral gap behind the
+                # embedding (lambda_{c+1} - lambda_c of the fused
+                # operator).  One extra eigensolve, taken only under an
+                # active trace; the fit state is untouched.
+                gap_values, _ = eigsh_smallest(fused_lap, c + 1)
+                metric_set(
+                    "health.eigengap", float(gap_values[-1] - gap_values[-2])
+                )
 
         history: list[float] = []
         events: list[IterationEvent] = []
@@ -365,6 +375,15 @@ class UnifiedMVSC(ServableModelMixin):
                 label_moves = int(np.count_nonzero(labels != labels_before))
                 y_span.set(label_moves=label_moves)
             block_seconds["y_step"] = time.perf_counter() - tick
+            if current_trace() is not None:
+                # Numerical-health probe: how far the rotated embedding
+                # sits from the discrete indicator it is chasing.
+                metric_set(
+                    "health.rotation_residual",
+                    float(
+                        np.linalg.norm(f @ r - scaled_indicator(labels, c))
+                    ),
+                )
             # The monotone F/R/Y block descent applies to the objective
             # under the weights the blocks just descended, so that value
             # is recorded before the w-step rebuilds the fused operator.
@@ -385,6 +404,11 @@ class UnifiedMVSC(ServableModelMixin):
                     )
                     h = h + cfg.consensus * np.maximum(disagreement, 0.0)
                 w = update_view_weights(h, mode=cfg.weighting, gamma=cfg.gamma)
+                if current_trace() is not None:
+                    # Numerical-health probe: view-weight concentration
+                    # (0 = one view dominates, the degeneracy the
+                    # weight-collapse rule watches).
+                    metric_set("health.weight_entropy", weight_entropy(w))
                 fused_lap = self._fused_operator(affinities, view_bases, w)
             block_seconds["w_step"] = time.perf_counter() - tick
 

@@ -27,7 +27,15 @@ per-iteration data.  This subsystem provides it in three layers:
 * :mod:`repro.observability.profiling` — opt-in deterministic cProfile
   capture on designated hot spans (:func:`profile_span` /
   :class:`use_profiling`), dormant at the cost of one contextvar
-  lookup.
+  lookup;
+* :mod:`repro.observability.memory` — opt-in tracemalloc metering of
+  the same hot spans (:func:`memory_span` /
+  :class:`use_memory_tracking`): per-phase allocation deltas and peaks,
+  persisted per bench by the regression tracker;
+* :mod:`repro.observability.health` — a declarative SLO/alert rules
+  engine (:class:`HealthRule` / :func:`evaluate_rules` /
+  :func:`default_rule_pack`) judging any registry snapshot, live on the
+  serving ``/healthz`` endpoint and offline via ``repro health check``.
 
 Spans carry correlation identity — a per-trace ``trace_id``, a
 ``span_id`` / ``parent_id`` ancestry chain, wall-clock ``timestamp``
@@ -59,6 +67,25 @@ from repro.observability.events import (
     FitDiagnostics,
     IterationEvent,
     dispatch_event,
+)
+from repro.observability.health import (
+    HealthMonitor,
+    HealthReport,
+    HealthRule,
+    RuleResult,
+    default_rule_pack,
+    evaluate_rule,
+    evaluate_rules,
+    load_rules,
+    resolve_metric,
+    rules_to_dicts,
+    weight_entropy,
+)
+from repro.observability.memory import (
+    MemorySession,
+    current_memory,
+    memory_span,
+    use_memory_tracking,
 )
 from repro.observability.export import (
     PROMETHEUS_CONTENT_TYPE,
@@ -112,29 +139,40 @@ __all__ = [
     "FitCallback",
     "FitDiagnostics",
     "Gauge",
+    "HealthMonitor",
+    "HealthReport",
+    "HealthRule",
     "Histogram",
     "Hotspot",
     "IterationEvent",
     "JsonlSink",
     "LoggingSink",
+    "MemorySession",
     "MetricsRegistry",
     "PROMETHEUS_CONTENT_TYPE",
     "PathStep",
     "ProfilingSession",
     "ResourceSample",
     "ResourceSampler",
+    "RuleResult",
     "SpanRecord",
     "Trace",
     "TraceData",
     "TraceRecorder",
     "critical_path",
+    "current_memory",
     "current_profiling",
     "current_request_id",
     "current_trace",
+    "default_rule_pack",
     "dispatch_event",
+    "evaluate_rule",
+    "evaluate_rules",
     "hotspot_summary",
     "last_trace",
+    "load_rules",
     "load_trace",
+    "memory_span",
     "metric_inc",
     "metric_observe",
     "metric_set",
@@ -149,9 +187,13 @@ __all__ = [
     "render_json_snapshot",
     "render_prometheus",
     "render_prometheus_snapshot",
+    "resolve_metric",
+    "rules_to_dicts",
     "span",
     "to_chrome_trace",
+    "use_memory_tracking",
     "use_profiling",
     "use_request",
     "use_trace",
+    "weight_entropy",
 ]

@@ -27,6 +27,7 @@ every bench and persists the peaks into ``BENCH_*.json``.
 from __future__ import annotations
 
 import os
+import sys
 import threading
 import time
 from dataclasses import dataclass
@@ -54,8 +55,10 @@ def read_rss_bytes() -> int:
         import resource
 
         peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-        # Linux reports kilobytes, macOS bytes; normalize heuristically.
-        return int(peak) * (1 if peak > 1 << 32 else 1024)
+        # ru_maxrss units are platform-defined: bytes on macOS,
+        # kilobytes on Linux/BSD.  Branch on the platform — a magnitude
+        # heuristic misclassifies small macOS processes as kilobytes.
+        return int(peak) * (1 if sys.platform == "darwin" else 1024)
     except (ImportError, ValueError, OSError):
         return 0
 
@@ -101,8 +104,10 @@ class ResourceSampler:
 
     One sample is always taken synchronously at :meth:`start` and
     another at :meth:`stop`, so even a window shorter than the interval
-    yields usable peaks.  Start/stop are idempotent; the sampler is
-    reusable only for one window.
+    yields usable peaks.  Repeated starts of a running sampler and
+    repeated stops are no-ops, but a sampler covers exactly one window:
+    :meth:`start` after :meth:`stop` raises :class:`ValidationError`
+    instead of silently mixing stale samples into a new window.
     """
 
     def __init__(
@@ -130,7 +135,20 @@ class ResourceSampler:
     # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> "ResourceSampler":
-        """Take a baseline sample and launch the sampling thread."""
+        """Take a baseline sample and launch the sampling thread.
+
+        Raises
+        ------
+        ValidationError
+            The sampler's window was already closed with :meth:`stop`;
+            a sampler covers exactly one window, so restarting would
+            silently mix stale samples into the new one.
+        """
+        if self._stopped:
+            raise ValidationError(
+                "ResourceSampler windows are single-use: this sampler "
+                "was already stopped; construct a new one"
+            )
         if self._thread is not None:
             return self
         self._cpu0 = read_cpu_seconds()

@@ -36,7 +36,7 @@ import numpy as np
 from repro.backends import current_backend, get_backend, use_backend
 from repro.exceptions import ClampWarning, ValidationError
 from repro.graph.distance import pairwise_sq_euclidean
-from repro.observability.profiling import profile_span
+from repro.observability.memory import memory_span
 from repro.observability.trace import metric_inc, metric_observe, span
 from repro.pipeline.parallel import parallel_map
 from repro.robust.faults import register_fault_site
@@ -279,7 +279,7 @@ class Predictor:
             use_backend(self.backend) if self.backend is not None
             else nullcontext()
         )
-        with backend_ctx, profile_span(
+        with backend_ctx, memory_span(
             "serving.predict",
             n_samples=m,
             batch_size=batch_size,

@@ -38,7 +38,7 @@ Operational properties:
   histograms, batch sizes, and a live queue-depth gauge (disable with
   ``telemetry=False``).  ``telemetry_port=`` additionally starts a
   localhost HTTP thread serving ``/metrics`` (Prometheus text),
-  ``/healthz`` (draining-aware), and ``/stats`` (JSON) — see
+  ``/healthz`` (rule-aware readiness), and ``/stats`` (JSON) — see
   :mod:`repro.serving.telemetry`.
 * **Determinism** — batch composition depends on arrival timing, but
   the predictor's per-query independence makes every result identical
@@ -216,7 +216,7 @@ class PredictionService:
     telemetry_port : int or None
         When given, start a :class:`~repro.serving.telemetry.
         TelemetryServer` exposing ``/metrics`` (Prometheus text),
-        ``/healthz`` (draining-aware), and ``/stats`` (JSON) on
+        ``/healthz`` (rule-aware readiness), and ``/stats`` (JSON) on
         ``127.0.0.1:port`` (``0`` picks a free port; see
         :attr:`telemetry_url`).  Implies nothing about ``telemetry`` —
         pair it with the default ``True`` for meaningful output.

@@ -9,9 +9,13 @@ scrape surface without any new dependency:
   Prometheus text format (request-latency quantiles, queue-depth gauge,
   process RSS/CPU gauges from the attached
   :class:`~repro.observability.resource.ResourceSampler`);
-* ``GET /healthz`` — ``200 ok`` while serving, ``503 draining`` once
-  :meth:`~repro.serving.service.PredictionService.close` has begun but
-  queued requests are still being drained;
+* ``GET /healthz`` — a JSON readiness document: ``status`` is ``ok``
+  while serving (HTTP 200), ``draining`` / ``closed`` (503) around
+  :meth:`~repro.serving.service.PredictionService.close`, and
+  ``failing`` (503) when a *critical*
+  :class:`~repro.observability.health.HealthRule` fires against the
+  live registry — the body lists every failing rule so a load balancer
+  (or operator) sees *why* readiness flipped;
 * ``GET /stats`` — the
   :class:`~repro.serving.service.ServiceStats` snapshot plus the full
   registry snapshot as a JSON document.
@@ -34,6 +38,7 @@ from repro.observability.export import (
     PROMETHEUS_CONTENT_TYPE,
     render_prometheus,
 )
+from repro.observability.health import HealthMonitor
 from repro.observability.resource import ResourceSampler
 
 
@@ -80,12 +85,24 @@ class TelemetryServer:
     sample_resources : bool
         Attach a :class:`ResourceSampler` publishing ``process.*``
         gauges into the service registry (default True).
+    health_rules : sequence of HealthRule, optional
+        Rules the ``/healthz`` endpoint evaluates against the service
+        registry on every request (default:
+        :func:`~repro.observability.health.default_rule_pack`; solver
+        rules in the pack simply skip on serving snapshots).  A failing
+        *critical* rule flips readiness to 503.
     """
 
     def __init__(
-        self, service, *, port: int = 0, sample_resources: bool = True
+        self,
+        service,
+        *,
+        port: int = 0,
+        sample_resources: bool = True,
+        health_rules=None,
     ) -> None:
         self.service = service
+        self.monitor = HealthMonitor(service.metrics, rules=health_rules)
         self._httpd = ThreadingHTTPServer(
             ("127.0.0.1", int(port)), _TelemetryHandler
         )
@@ -125,17 +142,32 @@ class TelemetryServer:
     def health_payload(self) -> tuple:
         """``(body, status, content_type)`` of ``GET /healthz``.
 
-        ``ok`` while accepting; ``draining`` (503) once close() has
-        begun, so load balancers stop routing while queued requests
-        finish; ``closed`` (503) after the drain completes.
+        The body is a JSON readiness document: the service lifecycle
+        word (``ok`` / ``draining`` / ``closed``), whether the endpoint
+        is ``ready`` (200 vs 503), and the health-rule evaluation — a
+        failing *critical* rule flips readiness even while the service
+        is accepting, so load balancers stop routing before the burn
+        becomes an outage.  ``draining``/``closed`` stay 503 so drains
+        behave exactly as before.
         """
+        report = self.monitor.check()
         if not self.service.closed:
-            body, status = "ok\n", 200
+            status_word = "failing" if report.critical_failures else "ok"
         elif self.service.draining:
-            body, status = "draining\n", 503
+            status_word = "draining"
         else:
-            body, status = "closed\n", 503
-        return body, status, "text/plain; charset=utf-8"
+            status_word = "closed"
+        ready = status_word == "ok"
+        payload = {
+            "status": status_word,
+            "ready": ready,
+            "ok": report.ok,
+            "critical": bool(report.critical_failures),
+            "rules_evaluated": len(report.results),
+            "failing": [r.to_dict() for r in report.failing],
+        }
+        body = json.dumps(_jsonsafe(payload), indent=2) + "\n"
+        return body, (200 if ready else 503), "application/json"
 
     def stats_payload(self) -> tuple:
         """``(body, status, content_type)`` of ``GET /stats``."""

@@ -31,7 +31,13 @@ import numpy as np
 from repro.core.anchor_model import AnchorMVSC
 from repro.core.config import StreamingConfig, UMSCConfig
 from repro.exceptions import ValidationError
-from repro.observability.trace import metric_inc, metric_observe, span
+from repro.observability.health import weight_entropy
+from repro.observability.trace import (
+    metric_inc,
+    metric_observe,
+    metric_set,
+    span,
+)
 from repro.streaming.drift import (
     BatchStats,
     DriftEvent,
@@ -254,6 +260,13 @@ class StreamingMVSC:
             metric_inc(f"streaming.drift.{event.kind}")
         metric_inc(f"streaming.action.{action}")
         metric_observe("streaming.batch_seconds", seconds)
+        # Numerical-health probes, refreshed per batch: the anchor
+        # coverage of the newest batch (the drift signal) and the
+        # current view-weight concentration.
+        metric_set("health.anchor_coverage", stats.batch_cost)
+        metric_set(
+            "health.weight_entropy", weight_entropy(stats.view_weights)
+        )
         record = BatchRecord(
             batch_index=index,
             n_new=n_new,

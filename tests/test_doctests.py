@@ -22,6 +22,8 @@ MODULE_NAMES = [
     "repro.core.incomplete",
     "repro.core.out_of_sample",
     "repro.evaluation.ascii_plots",
+    "repro.observability.health",
+    "repro.observability.memory",
     "repro.observability.metrics",
     "repro.observability.trace",
     "repro.pipeline.cache",

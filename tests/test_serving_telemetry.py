@@ -168,7 +168,13 @@ class TestTelemetryEndpoints:
             assert "repro_serving_request_seconds_count 1" in text
 
             status, text = _get(f"{url}/healthz")
-            assert (status, text) == (200, "ok\n")
+            assert status == 200
+            doc = json.loads(text)
+            assert doc["status"] == "ok"
+            assert doc["ready"] is True
+            assert doc["critical"] is False
+            assert doc["failing"] == []
+            assert doc["rules_evaluated"] > 0
 
             status, text = _get(f"{url}/stats")
             assert status == 200
@@ -199,14 +205,83 @@ class TestTelemetryEndpoints:
         service = PredictionService(Predictor(artifact))
         server = TelemetryServer(service, port=0, sample_resources=False)
         try:
-            body, status, _ = server.health_payload()
-            assert (body, status) == ("ok\n", 200)
+            body, status, ctype = server.health_payload()
+            assert status == 200
+            assert ctype == "application/json"
+            assert json.loads(body)["status"] == "ok"
             service.close()
             body, status, _ = server.health_payload()
             assert status == 503
-            assert body in ("draining\n", "closed\n")
+            doc = json.loads(body)
+            assert doc["status"] in ("draining", "closed")
+            assert doc["ready"] is False
         finally:
             server.close()
+
+    def test_healthz_flips_on_critical_rule_and_recovers(self):
+        """A firing critical rule turns readiness 503; recovery restores
+        200 — while concurrent clients hammer the endpoint the body must
+        stay valid JSON on every single response (satellite: /healthz
+        under concurrent load)."""
+        from repro.observability.health import HealthRule
+
+        artifact = _blob_artifact()
+        rule = HealthRule(
+            name="test-pressure",
+            kind="threshold",
+            selector="gauge:test.pressure",
+            max_value=1.0,
+            severity="critical",
+        )
+        service = PredictionService(Predictor(artifact))
+        server = TelemetryServer(
+            service, port=0, sample_resources=False, health_rules=[rule]
+        )
+        url = server.url
+        results, stop = [], threading.Event()
+        lock = threading.Lock()
+
+        def hammer():
+            while not stop.is_set():
+                status, text = _get(f"{url}/healthz")
+                doc = json.loads(text)  # must never be non-JSON
+                with lock:
+                    results.append((status, doc["status"]))
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        try:
+            for t in threads:
+                t.start()
+            # Phase 1: gauge healthy -> 200/ok.
+            service.metrics.gauge("test.pressure").set(0.5)
+            status, text = _get(f"{url}/healthz")
+            assert status == 200
+            assert json.loads(text)["status"] == "ok"
+            # Phase 2: breach the critical rule -> readiness flips.
+            service.metrics.gauge("test.pressure").set(5.0)
+            status, text = _get(f"{url}/healthz")
+            doc = json.loads(text)
+            assert status == 503
+            assert doc["status"] == "failing"
+            assert doc["ready"] is False
+            assert doc["critical"] is True
+            assert [r["rule"] for r in doc["failing"]] == ["test-pressure"]
+            assert doc["failing"][0]["severity"] == "critical"
+            # Phase 3: pressure subsides -> readiness recovers.
+            service.metrics.gauge("test.pressure").set(0.2)
+            status, text = _get(f"{url}/healthz")
+            assert status == 200
+            assert json.loads(text)["status"] == "ok"
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=10.0)
+            server.close()
+            service.close()
+        # The hammering clients saw only the two legal states, all JSON.
+        assert results
+        assert {s for _, s in results} <= {"ok", "failing"}
+        assert {code for code, _ in results} <= {200, 503}
 
     def test_server_stops_with_service_close(self):
         artifact = _blob_artifact()
